@@ -1,0 +1,136 @@
+"""Ablation bench: the NoC simulation parameters the paper's flow exposes.
+
+Section III-A defines the knobs of the design flow — PE output rate R, local
+message routing RL, collision management DCM/SCM, routing algorithm and node
+architecture.  This bench sweeps each knob around the WiMAX design point and
+prints its effect on ncycles / throughput / FIFO sizing, reproducing the
+sensitivity discussion that justifies the paper's chosen configuration
+(RL = 0, SCM, R = 0.5, SSP-FL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import DecoderSpec, NocDecoderArchitecture, wimax_ldpc_code
+from repro.core.throughput import ldpc_throughput_bps
+from repro.noc import CollisionPolicy, NocConfiguration, NocSimulator, RoutingAlgorithm
+from repro.utils import Table
+
+
+def _design_point_simulation(config: NocConfiguration, mapping, topology, tables, seed=0):
+    simulator = NocSimulator(topology, config, routing_tables=tables, seed=seed)
+    return simulator.run(mapping.traffic)
+
+
+def _throughput(spec: DecoderSpec, code, ncycles: int) -> float:
+    return ldpc_throughput_bps(
+        code.k,
+        spec.ldpc_clock_hz,
+        spec.ldpc_max_iterations,
+        spec.ldpc_core_latency_cycles,
+        ncycles,
+    ) / 1e6
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_injection_rate_and_flags(benchmark, bench_print):
+    """Sweep R, RL and DCM/SCM at the P=22 Kautz-D3 design point."""
+    spec = DecoderSpec(mapping_attempts=2)
+    code = wimax_ldpc_code(2304, "1/2")
+    decoder = NocDecoderArchitecture(spec)
+    mapping = decoder.map_ldpc(code)
+    topology = decoder.topology
+    tables = decoder.routing_tables
+
+    def run_all():
+        rows = []
+        base = spec.noc
+        # R sweep.
+        for rate in (0.25, 0.5, 1.0):
+            config = replace(base, injection_rate=rate)
+            sim = _design_point_simulation(config, mapping, topology, tables)
+            rows.append((f"R = {rate}", sim))
+        # RL sweep.
+        for route_local in (False, True):
+            config = replace(base, route_local=route_local)
+            sim = _design_point_simulation(config, mapping, topology, tables)
+            rows.append((f"RL = {int(route_local)}", sim))
+        # Collision policy sweep.
+        for policy in (CollisionPolicy.SCM, CollisionPolicy.DCM):
+            config = replace(base, collision_policy=policy)
+            sim = _design_point_simulation(config, mapping, topology, tables)
+            rows.append((policy.value, sim))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        title="Ablation of the NoC simulation parameters (LDPC n=2304 r=1/2, P=22 Kautz D=3, SSP-FL)",
+        columns=["configuration", "ncycles", "throughput [Mb/s]", "max FIFO", "mean latency"],
+    )
+    results = {}
+    for label, sim in rows:
+        results[label] = sim
+        table.add_row(
+            [
+                label,
+                sim.ncycles,
+                f"{_throughput(spec, code, sim.ncycles):.1f}",
+                sim.max_fifo_occupancy,
+                f"{sim.statistics.mean_latency:.1f}",
+            ]
+        )
+    bench_print(table.render())
+
+    # Expected orderings: higher R never slows the phase down; routing local
+    # messages through the network (RL=1) costs cycles; DCM never beats SCM by
+    # a large margin at this load.
+    assert results["R = 1.0"].ncycles <= results["R = 0.5"].ncycles <= results["R = 0.25"].ncycles
+    assert results["RL = 1"].ncycles >= results["RL = 0"].ncycles
+    assert results["DCM"].ncycles >= 0.8 * results["SCM"].ncycles
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print):
+    """AP vs PP: FIFO depth (from simulation) drives the NoC area difference."""
+    spec = DecoderSpec(mapping_attempts=2)
+    code = wimax_ldpc_code(2304, "1/2")
+    decoder = NocDecoderArchitecture(spec)
+    mapping = decoder.map_ldpc(code)
+    topology = decoder.topology
+    tables = decoder.routing_tables
+
+    def run_all():
+        from repro.hw.area import NocAreaModel
+
+        area_model = NocAreaModel()
+        rows = []
+        for algorithm in (RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT):
+            config = spec.noc.with_routing(algorithm)
+            sim = _design_point_simulation(config, mapping, topology, tables)
+            area = area_model.noc_area_mm2(
+                topology.n_nodes, topology.crossbar_size, config, sim.per_node_max_fifo
+            )
+            rows.append((algorithm.value, config.node_architecture.value, sim, area))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        title="Node architecture ablation (AP vs PP) at the WiMAX design point",
+        columns=["routing", "node arch", "ncycles", "max FIFO", "flit bits", "NoC area [mm^2]"],
+    )
+    areas = {}
+    for routing, arch, sim, area in rows:
+        areas[arch] = area
+        config = DecoderSpec().noc.with_routing(RoutingAlgorithm(routing))
+        table.add_row(
+            [routing, arch, sim.ncycles, sim.max_fifo_occupancy,
+             config.flit_bits(22), f"{area:.2f}"]
+        )
+    bench_print(table.render())
+
+    # The AP architecture (no header, capped FIFOs) must yield the smaller NoC.
+    assert areas["AP"] <= areas["PP"]

@@ -1,0 +1,73 @@
+"""Benchmark regenerating paper Table I.
+
+Throughput [Mb/s] / NoC area [mm^2] for the WiMAX LDPC n = 2304, rate-1/2 code
+across NoC topologies, parallelism degrees and routing algorithms
+(fclk = 300 MHz, Itmax = 10, latcore = 15, RL = 0, SCM, R = 0.5).
+
+The default grid covers every topology group of the paper at two parallelism
+degrees (16 and 32); set ``REPRO_BENCH_FULL=1`` to sweep the paper's full
+P in {16, 24, 32, 36} grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecoderSpec, DesignSpaceExplorer, wimax_ldpc_code
+from repro.analysis import build_table1, check_table1_trends
+from repro.noc import RoutingAlgorithm
+
+from benchmarks.conftest import full_benchmarks_enabled
+
+TOPOLOGIES = [
+    ("generalized-de-bruijn", 2),
+    ("generalized-kautz", 2),
+    ("spidergon", 3),
+    ("generalized-kautz", 3),
+    ("honeycomb", 4),
+    ("generalized-kautz", 4),
+]
+ALGORITHMS = [RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT]
+
+
+def _parallelisms() -> list[int]:
+    return [16, 24, 32, 36] if full_benchmarks_enabled() else [16, 32]
+
+
+def _run_sweep() -> list:
+    code = wimax_ldpc_code(2304, "1/2")
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=2), seed=0)
+    return explorer.sweep_ldpc(code, TOPOLOGIES, _parallelisms(), ALGORITHMS)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_noc_design_space(benchmark, bench_print):
+    """Regenerate Table I and verify the paper's qualitative conclusions."""
+    points = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    bench_print(build_table1(points).render())
+
+    checks = check_table1_trends(points)
+    lines = ["Trend checks (paper Section III-B/C conclusions):"]
+    for check in checks:
+        lines.append(f"  [{'PASS' if check.passed else 'FAIL'}] {check.name}: {check.detail}")
+    bench_print("\n".join(lines))
+
+    # The reproduction is judged on the trends, not the absolute Mb/s values.
+    assert points, "the sweep produced no design points"
+    passed = sum(1 for check in checks if check.passed)
+    assert passed >= max(1, len(checks) - 1), "more than one Table-I trend failed to reproduce"
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_single_point_cost(benchmark):
+    """Cost of evaluating one Table-I cell (mapping + simulation + area model)."""
+    code = wimax_ldpc_code(2304, "1/2")
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1), seed=0)
+
+    def one_point():
+        return explorer.evaluate_ldpc_point(
+            code, "generalized-kautz", 3, 32, RoutingAlgorithm.SSP_FL
+        )
+
+    point = benchmark(one_point)
+    assert point.throughput_mbps > 0

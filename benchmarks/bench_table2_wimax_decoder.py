@@ -1,0 +1,81 @@
+"""Benchmark regenerating paper Table II.
+
+The WiMAX design case: P = 22, degree-3 generalized Kautz NoC, R = 0.5.
+Turbo N = 2400 couples at a 75 MHz NoC clock and LDPC n = 2304 rate 1/2 at
+300 MHz, for the three routing algorithms (SSP-RR, SSP-FL on the PP node
+architecture; ASP-FT on the AP architecture).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecoderSpec, NocDecoderArchitecture, wimax_ldpc_code
+from repro.analysis import PAPER_TABLE2, build_table2
+from repro.core.throughput import meets_wimax_requirement
+from repro.noc import RoutingAlgorithm
+
+ALGORITHMS = [RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT]
+
+
+def _evaluate_design_case():
+    code = wimax_ldpc_code(2304, "1/2")
+    ldpc_results = {}
+    turbo_results = {}
+    for algorithm in ALGORITHMS:
+        spec = DecoderSpec(mapping_attempts=2).with_routing(algorithm)
+        decoder = NocDecoderArchitecture(spec)
+        ldpc_results[algorithm.value] = decoder.evaluate_ldpc(code)
+        turbo_results[algorithm.value] = decoder.evaluate_turbo(2400)
+    return turbo_results, ldpc_results
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_wimax_design_case(benchmark, bench_print):
+    """Regenerate Table II and verify the WiMAX-compliance conclusions."""
+    turbo_results, ldpc_results = benchmark.pedantic(
+        _evaluate_design_case, rounds=1, iterations=1
+    )
+    bench_print(build_table2(turbo_results, ldpc_results).render())
+
+    summary = ["Conclusions checked against the paper:"]
+    # 1. Turbo mode clears the 70 Mb/s WiMAX requirement at a 75 MHz NoC clock.
+    turbo_ok = all(
+        meets_wimax_requirement(result.throughput_bps) for result in turbo_results.values()
+    )
+    summary.append(f"  [{'PASS' if turbo_ok else 'FAIL'}] turbo >= 70 Mb/s at 75 MHz for all algorithms")
+    # 2. Throughput depends only weakly on the routing algorithm (paper Section III-C).
+    for name, results in (("turbo", turbo_results), ("LDPC", ldpc_results)):
+        values = [r.throughput_mbps for r in results.values()]
+        weak = max(values) / min(values) < 1.25
+        summary.append(
+            f"  [{'PASS' if weak else 'FAIL'}] {name}: weak dependence on routing algorithm "
+            f"(spread {min(values):.1f}..{max(values):.1f} Mb/s)"
+        )
+    # 3. The AP (ASP-FT) NoC is the smallest one, as in the paper's area column.
+    ap_smallest = ldpc_results["ASP-FT"].area.noc_mm2 <= min(
+        ldpc_results["SSP-RR"].area.noc_mm2, ldpc_results["SSP-FL"].area.noc_mm2
+    ) * 1.05
+    summary.append(f"  [{'PASS' if ap_smallest else 'FAIL'}] ASP-FT (AP) NoC is the smallest")
+    # 4. Side-by-side with the published numbers.
+    for (mode, routing), (throughput, area) in sorted(PAPER_TABLE2.items()):
+        ours = turbo_results[routing] if mode == "turbo" else ldpc_results[routing]
+        summary.append(
+            f"  paper {mode:5s} {routing}: {throughput:6.2f} Mb/s / {area:.2f} mm^2 | "
+            f"measured {ours.throughput_mbps:6.2f} Mb/s / {ours.area.noc_mm2:.2f} mm^2"
+        )
+    bench_print("\n".join(summary))
+
+    assert turbo_ok
+    assert ap_smallest
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_ldpc_design_point_cost(benchmark):
+    """Cost of one full system-level LDPC evaluation at the design point."""
+    decoder = NocDecoderArchitecture(DecoderSpec(mapping_attempts=1))
+    code = wimax_ldpc_code(2304, "1/2")
+    decoder.map_ldpc(code)  # mapping cached; measure the simulation + models
+
+    result = benchmark(lambda: decoder.evaluate_ldpc(code))
+    assert result.simulation.all_delivered

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables (or a functional /
+ablation study) and *prints* it, so that ``pytest benchmarks/ --benchmark-only``
+produces, in one run, all the rows the paper reports next to the published
+values.  The pytest-benchmark timings measure the cost of the corresponding
+evaluation (mapping + cycle-accurate simulation + cost models).
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the full Table I grid (6 topology groups x
+  4 parallelism degrees x 3 routing algorithms) instead of the reduced default
+  grid, and use more Monte-Carlo frames in the functional bench.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_benchmarks_enabled() -> bool:
+    """True when the full (slow) benchmark grids were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_print():
+    """Print helper that keeps benchmark output readable in captured logs."""
+
+    def _print(text: str) -> None:
+        print()
+        print(text)
+
+    return _print

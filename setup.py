@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in ``pyproject.toml``; this file exists only so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work on environments
+whose setuptools/pip tooling predates PEP 660 editable wheels (e.g. offline
+boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

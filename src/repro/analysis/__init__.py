@@ -1,0 +1,32 @@
+"""Analysis layer: paper reference data, table builders and comparisons.
+
+The benchmark harness uses this package to print, for every table of the
+paper, the reproduced rows side by side with the published numbers and a set
+of trend checks (who wins, by what factor) that define reproduction success.
+"""
+
+from repro.analysis.reference import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    Table1Cell,
+    Table3Row,
+)
+from repro.analysis.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    check_table1_trends,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "Table1Cell",
+    "Table3Row",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "check_table1_trends",
+]

@@ -1,0 +1,234 @@
+"""Builders that render reproduced results in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reference import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, Table1Cell
+from repro.core.architecture import LdpcEvaluation, TurboEvaluation
+from repro.core.design_flow import DesignPoint
+from repro.hw.technology import scale_area
+from repro.utils.tables import Table, format_ratio_cell
+
+
+def _paper_cell(topology: str, degree: int, parallelism: int, routing: str) -> Table1Cell | None:
+    for cell in PAPER_TABLE1:
+        if (
+            cell.topology == topology
+            and cell.degree == degree
+            and cell.parallelism == parallelism
+            and cell.routing == routing
+        ):
+            return cell
+    return None
+
+
+def build_table1(points: list[DesignPoint]) -> Table:
+    """Render a sweep in the layout of paper Table I, with the paper's cells alongside.
+
+    Rows are (topology, degree, routing); columns are the parallelism degrees.
+    Each cell shows ``measured T/A`` and, when available, ``paper T/A``.
+    """
+    parallelisms = sorted({p.parallelism for p in points})
+    table = Table(
+        title="Table I - throughput [Mb/s] / NoC area [mm^2], WiMAX LDPC n=2304 r=1/2",
+        columns=["topology (D)", "routing", *[f"P={p}" for p in parallelisms]],
+    )
+    groups = sorted({(p.topology_family, p.degree, p.routing_algorithm.value) for p in points})
+    for family, degree, routing in groups:
+        cells: list[str] = [f"{family} (D={degree})", routing]
+        for parallelism in parallelisms:
+            match = [
+                p
+                for p in points
+                if p.topology_family == family
+                and p.degree == degree
+                and p.routing_algorithm.value == routing
+                and p.parallelism == parallelism
+            ]
+            if not match:
+                cells.append("-")
+                continue
+            point = match[0]
+            text = format_ratio_cell(point.throughput_mbps, point.noc_area_mm2)
+            paper = _paper_cell(family, degree, parallelism, routing)
+            if paper is not None:
+                text += f" (paper {format_ratio_cell(paper.throughput_mbps, paper.noc_area_mm2)})"
+            cells.append(text)
+        table.add_row(cells)
+    return table
+
+
+def build_table2(
+    turbo_by_routing: dict[str, TurboEvaluation],
+    ldpc_by_routing: dict[str, LdpcEvaluation],
+) -> Table:
+    """Render paper Table II: the P=22 Kautz D=3 WiMAX design case."""
+    table = Table(
+        title=(
+            "Table II - P=22, D=3 generalized Kautz: throughput [Mb/s] / NoC area [mm^2] "
+            "(turbo N=2400 @75 MHz, LDPC n=2304 r=1/2 @300 MHz)"
+        ),
+        columns=["routing", "turbo (measured)", "turbo (paper)", "LDPC (measured)", "LDPC (paper)"],
+    )
+    for routing in ("SSP-RR", "SSP-FL", "ASP-FT"):
+        row = [routing]
+        turbo = turbo_by_routing.get(routing)
+        if turbo is None:
+            row.append("-")
+        else:
+            row.append(format_ratio_cell(turbo.throughput_mbps, turbo.area.noc_mm2))
+        paper_turbo = PAPER_TABLE2.get(("turbo", routing))
+        row.append(format_ratio_cell(*paper_turbo) if paper_turbo else "-")
+        ldpc = ldpc_by_routing.get(routing)
+        if ldpc is None:
+            row.append("-")
+        else:
+            row.append(format_ratio_cell(ldpc.throughput_mbps, ldpc.area.noc_mm2))
+        paper_ldpc = PAPER_TABLE2.get(("LDPC", routing))
+        row.append(format_ratio_cell(*paper_ldpc) if paper_ldpc else "-")
+        table.add_row(row)
+    return table
+
+
+def build_table3(ldpc: LdpcEvaluation, turbo: TurboEvaluation) -> Table:
+    """Render paper Table III: this work's modelled row plus the published competitors."""
+    table = Table(
+        title="Table III - flexible turbo/LDPC decoder comparison (competitors as published)",
+        columns=[
+            "decoder",
+            "P",
+            "tech",
+            "Acore [mm^2]",
+            "Atot [mm^2]",
+            "A@65nm [mm^2]",
+            "fclk [MHz]",
+            "Pow [mW]",
+            "It (L/T)",
+            "T LDPC [Mb/s]",
+            "T turbo [Mb/s]",
+        ],
+    )
+    area = ldpc.area
+    normalized = scale_area(area.total_mm2, 90.0, 65.0)
+    table.add_row(
+        [
+            "This work (reproduction model)",
+            "22",
+            "90nm",
+            f"{area.core_mm2:.2f}",
+            f"{area.total_mm2:.2f}",
+            f"{normalized:.2f}",
+            "300 / 75",
+            f"{ldpc.power.total_mw:.0f} / {turbo.power.total_mw:.0f}",
+            "10 / 8",
+            f"{ldpc.throughput_mbps:.2f} (min.)",
+            f"{turbo.throughput_mbps:.2f} (min.)",
+        ]
+    )
+    for row in PAPER_TABLE3:
+        iterations = (
+            f"{row.max_iterations_ldpc or '-'} / {row.max_iterations_turbo or '-'}"
+        )
+        table.add_row(
+            [
+                row.label,
+                str(row.parallelism) if row.parallelism is not None else "-",
+                f"{row.technology_nm}nm",
+                f"{row.core_area_mm2:.2f}" if row.core_area_mm2 is not None else "-",
+                f"{row.total_area_mm2:.2f}" if row.total_area_mm2 is not None else "-",
+                f"{row.normalized_area_mm2:.2f}"
+                if row.normalized_area_mm2 is not None
+                else "-",
+                f"{row.clock_mhz:.0f}",
+                f"{row.power_mw:.0f}" if row.power_mw is not None else "n/a",
+                iterations,
+                f"{row.ldpc_throughput_mbps:.2f}"
+                if row.ldpc_throughput_mbps is not None
+                else "-",
+                f"{row.turbo_throughput_mbps:.2f}"
+                if row.turbo_throughput_mbps is not None
+                else "-",
+            ]
+        )
+    return table
+
+
+@dataclass(frozen=True)
+class TrendCheck:
+    """One qualitative claim of the paper checked against reproduced data."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def check_table1_trends(points: list[DesignPoint]) -> list[TrendCheck]:
+    """Verify the qualitative claims the paper draws from Table I.
+
+    * generalized Kautz outperforms the other topologies of the same degree,
+    * D = 3 improves on D = 2 for the same topology family,
+    * throughput does not decrease when P grows (same topology/routing),
+    * SSP-FL performs at least comparably to SSP-RR on average.
+    """
+    checks: list[TrendCheck] = []
+
+    def mean_throughput(predicate) -> float:
+        selected = [p.throughput_mbps for p in points if predicate(p)]
+        return sum(selected) / len(selected) if selected else 0.0
+
+    kautz3 = mean_throughput(
+        lambda p: p.topology_family == "generalized-kautz" and p.degree == 3
+    )
+    spidergon3 = mean_throughput(lambda p: p.topology_family == "spidergon")
+    if kautz3 and spidergon3:
+        checks.append(
+            TrendCheck(
+                name="Kautz D=3 beats spidergon D=3 (mean throughput)",
+                passed=kautz3 >= spidergon3 * 0.98,
+                detail=f"kautz={kautz3:.1f} Mb/s vs spidergon={spidergon3:.1f} Mb/s",
+            )
+        )
+    kautz2 = mean_throughput(
+        lambda p: p.topology_family == "generalized-kautz" and p.degree == 2
+    )
+    if kautz2 and kautz3:
+        checks.append(
+            TrendCheck(
+                name="D=3 Kautz beats D=2 Kautz (mean throughput)",
+                passed=kautz3 > kautz2,
+                detail=f"D3={kautz3:.1f} Mb/s vs D2={kautz2:.1f} Mb/s",
+            )
+        )
+    # Throughput grows with P for Kautz D=3 / SSP-FL.
+    series = sorted(
+        (
+            (p.parallelism, p.throughput_mbps)
+            for p in points
+            if p.topology_family == "generalized-kautz"
+            and p.degree == 3
+            and p.routing_algorithm.value == "SSP-FL"
+        ),
+    )
+    if len(series) >= 2:
+        non_decreasing = all(
+            series[i + 1][1] >= series[i][1] * 0.90 for i in range(len(series) - 1)
+        )
+        checks.append(
+            TrendCheck(
+                name="throughput grows with P (Kautz D=3, SSP-FL)",
+                passed=non_decreasing,
+                detail=" -> ".join(f"P={p}:{t:.1f}" for p, t in series),
+            )
+        )
+    ssp_fl = mean_throughput(lambda p: p.routing_algorithm.value == "SSP-FL")
+    ssp_rr = mean_throughput(lambda p: p.routing_algorithm.value == "SSP-RR")
+    if ssp_fl and ssp_rr:
+        checks.append(
+            TrendCheck(
+                name="SSP-FL at least comparable to SSP-RR (mean throughput)",
+                passed=ssp_fl >= ssp_rr * 0.95,
+                detail=f"SSP-FL={ssp_fl:.1f} Mb/s vs SSP-RR={ssp_rr:.1f} Mb/s",
+            )
+        )
+    return checks

@@ -1,0 +1,27 @@
+"""Channel substrate: modulation, AWGN noise, LLR quantisation, error counting.
+
+The paper evaluates its decoder on WiMAX codes whose soft inputs are
+log-likelihood ratios (LLRs) quantised to 7 bits (channel and a-posteriori
+values) and 5 bits (extrinsic values).  This package provides the transmit
+chain needed to produce such LLRs from random information bits — BPSK/QPSK
+mapping, an AWGN channel and the uniform quantiser — plus BER/FER counters
+used by the functional benchmarks.
+"""
+
+from repro.channel.modulation import BPSKModulator, QPSKModulator, Modulator
+from repro.channel.awgn import AWGNChannel, ebn0_to_noise_sigma, snr_db_to_linear
+from repro.channel.quantize import LLRQuantizer, QuantizationSpec
+from repro.channel.metrics import ErrorRateAccumulator, ErrorRateReport
+
+__all__ = [
+    "Modulator",
+    "BPSKModulator",
+    "QPSKModulator",
+    "AWGNChannel",
+    "ebn0_to_noise_sigma",
+    "snr_db_to_linear",
+    "LLRQuantizer",
+    "QuantizationSpec",
+    "ErrorRateAccumulator",
+    "ErrorRateReport",
+]

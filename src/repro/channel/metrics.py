@@ -1,0 +1,85 @@
+"""Bit-error-rate and frame-error-rate accumulation for the functional benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodingError
+
+
+@dataclass(frozen=True)
+class ErrorRateReport:
+    """Immutable summary emitted by :class:`ErrorRateAccumulator`."""
+
+    frames: int
+    bit_errors: int
+    frame_errors: int
+    total_bits: int
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate; 0.0 when no bits have been counted."""
+        return self.bit_errors / self.total_bits if self.total_bits else 0.0
+
+    @property
+    def fer(self) -> float:
+        """Frame error rate; 0.0 when no frames have been counted."""
+        return self.frame_errors / self.frames if self.frames else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"frames={self.frames} BER={self.ber:.3e} FER={self.fer:.3e} "
+            f"(bit errors {self.bit_errors}/{self.total_bits})"
+        )
+
+
+class ErrorRateAccumulator:
+    """Accumulate bit/frame error counts over successive decoded frames."""
+
+    def __init__(self) -> None:
+        self._frames = 0
+        self._bit_errors = 0
+        self._frame_errors = 0
+        self._total_bits = 0
+
+    def update(self, transmitted: np.ndarray, decoded: np.ndarray) -> int:
+        """Compare one decoded frame against the transmitted bits.
+
+        Returns the number of bit errors in this frame.
+        """
+        tx = np.asarray(transmitted, dtype=np.int8)
+        rx = np.asarray(decoded, dtype=np.int8)
+        if tx.shape != rx.shape:
+            raise DecodingError(
+                f"frame shapes differ: transmitted {tx.shape} vs decoded {rx.shape}"
+            )
+        errors = int(np.count_nonzero(tx != rx))
+        self._frames += 1
+        self._bit_errors += errors
+        self._total_bits += tx.size
+        if errors:
+            self._frame_errors += 1
+        return errors
+
+    @property
+    def frames(self) -> int:
+        """Number of frames accumulated so far."""
+        return self._frames
+
+    def report(self) -> ErrorRateReport:
+        """Snapshot the current counts as an immutable report."""
+        return ErrorRateReport(
+            frames=self._frames,
+            bit_errors=self._bit_errors,
+            frame_errors=self._frame_errors,
+            total_bits=self._total_bits,
+        )
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._frames = 0
+        self._bit_errors = 0
+        self._frame_errors = 0
+        self._total_bits = 0

@@ -1,0 +1,95 @@
+"""Digital modulators used by the functional simulation chain.
+
+Only the constellations needed by the WiMAX evaluation are provided: BPSK
+(the usual choice when characterising FEC codes) and Gray-mapped QPSK.
+Both map bits to unit-energy complex symbols and can demap received symbols
+to exact LLRs for an AWGN channel of known noise variance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+
+
+class Modulator(ABC):
+    """Abstract bit-to-symbol mapper with exact AWGN LLR demapping."""
+
+    #: Number of bits carried by one constellation symbol.
+    bits_per_symbol: int = 0
+
+    @abstractmethod
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map an array of 0/1 bits onto complex (or real) channel symbols."""
+
+    @abstractmethod
+    def demodulate_llr(self, received: np.ndarray, noise_variance: float) -> np.ndarray:
+        """Compute per-bit LLRs ``log P(b=0|y)/P(b=1|y)`` for AWGN observations."""
+
+    def _check_bits(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise DecodingError("modulator expects a one-dimensional bit array")
+        if arr.size % self.bits_per_symbol != 0:
+            raise DecodingError(
+                f"bit count {arr.size} is not a multiple of bits/symbol "
+                f"({self.bits_per_symbol})"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise DecodingError("modulator expects only 0/1 values")
+        return arr.astype(np.int8)
+
+    @staticmethod
+    def _check_noise_variance(noise_variance: float) -> float:
+        if noise_variance <= 0:
+            raise ConfigurationError(
+                f"noise variance must be positive, got {noise_variance}"
+            )
+        return float(noise_variance)
+
+
+class BPSKModulator(Modulator):
+    """Antipodal BPSK: bit 0 -> +1, bit 1 -> -1 (the LLR-friendly convention)."""
+
+    bits_per_symbol = 1
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        arr = self._check_bits(bits)
+        return 1.0 - 2.0 * arr.astype(np.float64)
+
+    def demodulate_llr(self, received: np.ndarray, noise_variance: float) -> np.ndarray:
+        sigma2 = self._check_noise_variance(noise_variance)
+        obs = np.asarray(received, dtype=np.float64)
+        # Exact LLR for BPSK over real AWGN: 2*y/sigma^2.
+        return 2.0 * obs / sigma2
+
+
+class QPSKModulator(Modulator):
+    """Gray-mapped QPSK with unit average symbol energy.
+
+    Bit pair ``(b0, b1)`` maps to ``((1-2*b0) + 1j*(1-2*b1)) / sqrt(2)``; the
+    in-phase and quadrature components therefore carry independent BPSK
+    streams, which keeps the LLR demapper exact and simple.
+    """
+
+    bits_per_symbol = 2
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        arr = self._check_bits(bits)
+        pairs = arr.reshape(-1, 2).astype(np.float64)
+        in_phase = 1.0 - 2.0 * pairs[:, 0]
+        quadrature = 1.0 - 2.0 * pairs[:, 1]
+        return (in_phase + 1j * quadrature) / np.sqrt(2.0)
+
+    def demodulate_llr(self, received: np.ndarray, noise_variance: float) -> np.ndarray:
+        sigma2 = self._check_noise_variance(noise_variance)
+        obs = np.asarray(received, dtype=np.complex128)
+        # Each axis is BPSK with amplitude 1/sqrt(2); LLR = 2*sqrt(2)*y_axis/sigma^2.
+        scale = 2.0 * np.sqrt(2.0) / sigma2
+        llrs = np.empty(obs.size * 2, dtype=np.float64)
+        llrs[0::2] = scale * obs.real
+        llrs[1::2] = scale * obs.imag
+        return llrs

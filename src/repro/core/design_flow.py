@@ -1,0 +1,232 @@
+"""Design-space exploration: the NoC design flow of paper Section III.
+
+The :class:`DesignSpaceExplorer` sweeps the Cartesian product of
+
+* topology (family, degree),
+* parallelism degree P,
+* routing algorithm (and hence node architecture),
+
+maps the target code on every point (graph partitioning + equivalent
+interleaver), runs the cycle-accurate simulation and reports, per point,
+``ncycles``, throughput (eq. (12)), NoC area and FIFO sizing — exactly the
+quantities tabulated in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DecoderSpec
+from repro.core.throughput import ldpc_throughput_bps, turbo_throughput_bps
+from repro.errors import ConfigurationError, MappingError, TopologyError
+from repro.hw.area import NocAreaModel
+from repro.ldpc.wimax import WimaxLdpcCode
+from repro.mapping.ldpc_mapping import map_ldpc_code
+from repro.mapping.turbo_mapping import map_turbo_code
+from repro.noc.config import NocConfiguration, RoutingAlgorithm
+from repro.noc.routing import build_routing_tables
+from repro.noc.simulator import NocSimulator
+from repro.noc.topologies import build_topology
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated point of the design space (one cell of Table I)."""
+
+    topology_family: str
+    degree: int
+    parallelism: int
+    routing_algorithm: RoutingAlgorithm
+    node_architecture: str
+    mode: str
+    ncycles: int
+    throughput_mbps: float
+    noc_area_mm2: float
+    max_fifo_depth: int
+    locality: float
+    mean_latency: float
+
+    def cell(self) -> str:
+        """Table-I-style ``throughput/area`` cell."""
+        return f"{self.throughput_mbps:.2f}/{self.noc_area_mm2:.2f}"
+
+
+class DesignSpaceExplorer:
+    """Sweeps NoC design points for a given LDPC code and/or turbo block size.
+
+    Parameters
+    ----------
+    base_spec:
+        Decoder spec providing clock frequencies, iteration counts and the
+        base NoC configuration; topology family, degree, parallelism and
+        routing algorithm are overridden per design point.
+    seed:
+        Partitioner / simulator seed (kept constant across the sweep so that
+        differences between points are architectural, not stochastic).
+    """
+
+    def __init__(self, base_spec: DecoderSpec | None = None, seed: int = 0):
+        self.base_spec = base_spec if base_spec is not None else DecoderSpec()
+        self.seed = seed
+        self._area_model = NocAreaModel()
+        # The code->PE mapping depends only on the code and the parallelism,
+        # not on the topology or routing algorithm, so it is cached across the
+        # sweep (the paper's flow likewise partitions once per (code, P) pair).
+        self._ldpc_mapping_cache: dict[tuple[int, str, int], object] = {}
+        self._turbo_mapping_cache: dict[tuple[int, int], object] = {}
+
+    def _cached_ldpc_mapping(self, code: WimaxLdpcCode, parallelism: int):
+        key = (code.n, code.rate_name, parallelism)
+        if key not in self._ldpc_mapping_cache:
+            self._ldpc_mapping_cache[key] = map_ldpc_code(
+                code.h,
+                parallelism,
+                seed=self.seed,
+                attempts=self.base_spec.mapping_attempts,
+                label=f"{code.rate_name}-n{code.n}-P{parallelism}",
+            )
+        return self._ldpc_mapping_cache[key]
+
+    def _cached_turbo_mapping(self, n_couples: int, parallelism: int):
+        key = (n_couples, parallelism)
+        if key not in self._turbo_mapping_cache:
+            self._turbo_mapping_cache[key] = map_turbo_code(
+                n_couples, parallelism, label=f"ctc-N{n_couples}-P{parallelism}"
+            )
+        return self._turbo_mapping_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Single-point evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_ldpc_point(
+        self,
+        code: WimaxLdpcCode,
+        topology_family: str,
+        degree: int,
+        parallelism: int,
+        routing_algorithm: RoutingAlgorithm,
+    ) -> DesignPoint:
+        """Map, simulate and cost one LDPC design point."""
+        spec = self.base_spec
+        config = spec.noc.with_routing(routing_algorithm)
+        topology = build_topology(topology_family, parallelism, degree)
+        tables = build_routing_tables(topology)
+        mapping = self._cached_ldpc_mapping(code, parallelism)
+        simulator = NocSimulator(topology, config, routing_tables=tables, seed=self.seed)
+        result = simulator.run(mapping.traffic)
+        throughput = ldpc_throughput_bps(
+            info_bits=code.k,
+            clock_hz=spec.ldpc_clock_hz,
+            max_iterations=spec.ldpc_max_iterations,
+            core_latency_cycles=spec.ldpc_core_latency_cycles,
+            message_passing_cycles=result.ncycles,
+        )
+        noc_area = self._area_model.noc_area_mm2(
+            n_nodes=parallelism,
+            crossbar_size=topology.crossbar_size,
+            config=config,
+            per_node_fifo_depth=result.per_node_max_fifo,
+        )
+        return DesignPoint(
+            topology_family=topology_family,
+            degree=degree,
+            parallelism=parallelism,
+            routing_algorithm=routing_algorithm,
+            node_architecture=config.node_architecture.value,
+            mode="LDPC",
+            ncycles=result.ncycles,
+            throughput_mbps=throughput / 1e6,
+            noc_area_mm2=noc_area,
+            max_fifo_depth=result.max_fifo_occupancy,
+            locality=mapping.locality,
+            mean_latency=result.statistics.mean_latency,
+        )
+
+    def evaluate_turbo_point(
+        self,
+        n_couples: int,
+        topology_family: str,
+        degree: int,
+        parallelism: int,
+        routing_algorithm: RoutingAlgorithm,
+    ) -> DesignPoint:
+        """Map, simulate and cost one turbo design point."""
+        spec = self.base_spec
+        config = spec.noc.with_routing(routing_algorithm)
+        topology = build_topology(topology_family, parallelism, degree)
+        tables = build_routing_tables(topology)
+        mapping = self._cached_turbo_mapping(n_couples, parallelism)
+        simulator = NocSimulator(topology, config, routing_tables=tables, seed=self.seed)
+        result = simulator.run(mapping.traffic_forward)
+        throughput = turbo_throughput_bps(
+            info_bits=2 * n_couples,
+            noc_clock_hz=spec.turbo_noc_clock_hz,
+            max_iterations=spec.turbo_max_iterations,
+            core_latency_cycles=spec.siso_core_latency_cycles,
+            half_iteration_cycles=result.ncycles,
+        )
+        noc_area = self._area_model.noc_area_mm2(
+            n_nodes=parallelism,
+            crossbar_size=topology.crossbar_size,
+            config=config,
+            per_node_fifo_depth=result.per_node_max_fifo,
+        )
+        return DesignPoint(
+            topology_family=topology_family,
+            degree=degree,
+            parallelism=parallelism,
+            routing_algorithm=routing_algorithm,
+            node_architecture=config.node_architecture.value,
+            mode="turbo",
+            ncycles=result.ncycles,
+            throughput_mbps=throughput / 1e6,
+            noc_area_mm2=noc_area,
+            max_fifo_depth=result.max_fifo_occupancy,
+            locality=mapping.locality,
+            mean_latency=result.statistics.mean_latency,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sweeps
+    # ------------------------------------------------------------------ #
+    def sweep_ldpc(
+        self,
+        code: WimaxLdpcCode,
+        topologies: list[tuple[str, int]],
+        parallelisms: list[int],
+        routing_algorithms: list[RoutingAlgorithm] | None = None,
+        skip_invalid: bool = True,
+    ) -> list[DesignPoint]:
+        """Evaluate the Cartesian product of topologies, parallelisms and algorithms.
+
+        ``topologies`` is a list of ``(family, degree)`` pairs.  Invalid
+        combinations (e.g. a toroidal mesh whose node count has no valid grid)
+        are skipped when ``skip_invalid`` is true, mirroring the paper's
+        practice of only reporting feasible points.
+        """
+        algorithms = routing_algorithms or list(RoutingAlgorithm)
+        points: list[DesignPoint] = []
+        for family, degree in topologies:
+            for parallelism in parallelisms:
+                for algorithm in algorithms:
+                    try:
+                        points.append(
+                            self.evaluate_ldpc_point(
+                                code, family, degree, parallelism, algorithm
+                            )
+                        )
+                    except (TopologyError, MappingError, ConfigurationError):
+                        if not skip_invalid:
+                            raise
+        return points
+
+    def best_point(
+        self, points: list[DesignPoint], throughput_floor_mbps: float = 0.0
+    ) -> DesignPoint:
+        """The point with the best throughput-to-area ratio above a throughput floor."""
+        if not points:
+            raise ConfigurationError("best_point requires a non-empty sweep")
+        eligible = [p for p in points if p.throughput_mbps >= throughput_floor_mbps]
+        if not eligible:
+            eligible = points
+        return max(eligible, key=lambda p: p.throughput_mbps / max(p.noc_area_mm2, 1e-9))

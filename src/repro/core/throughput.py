@@ -1,0 +1,64 @@
+"""Throughput models (paper eq. (12) and its turbo counterpart)."""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def ldpc_throughput_bps(
+    info_bits: int,
+    clock_hz: float,
+    max_iterations: int,
+    core_latency_cycles: int,
+    message_passing_cycles: int,
+) -> float:
+    """LDPC throughput in bits per second (paper eq. (12)).
+
+    ``T = (N - M) * fclk / ((latcore + ncycles) * Itmax)`` where ``N - M`` is
+    the number of information bits, ``latcore`` the decoding-core latency and
+    ``ncycles`` the duration of the message-passing phase of one iteration.
+    """
+    if info_bits <= 0:
+        raise ModelError(f"info_bits must be positive, got {info_bits}")
+    if clock_hz <= 0:
+        raise ModelError(f"clock_hz must be positive, got {clock_hz}")
+    if max_iterations <= 0:
+        raise ModelError(f"max_iterations must be positive, got {max_iterations}")
+    if core_latency_cycles < 0 or message_passing_cycles <= 0:
+        raise ModelError("cycle counts must be non-negative (ncycles strictly positive)")
+    cycles_per_iteration = core_latency_cycles + message_passing_cycles
+    return info_bits * clock_hz / (cycles_per_iteration * max_iterations)
+
+
+def turbo_throughput_bps(
+    info_bits: int,
+    noc_clock_hz: float,
+    max_iterations: int,
+    core_latency_cycles: int,
+    half_iteration_cycles: int,
+) -> float:
+    """Turbo throughput in bits per second.
+
+    Each turbo iteration consists of two half-iterations (one per constituent
+    SISO); every half-iteration pays the SISO latency plus the message-passing
+    phase measured in NoC cycles:
+
+    ``T = K * fclk_NoC / ((latSISO + ncycles_half) * 2 * Itmax)``.
+    """
+    if info_bits <= 0:
+        raise ModelError(f"info_bits must be positive, got {info_bits}")
+    if noc_clock_hz <= 0:
+        raise ModelError(f"noc_clock_hz must be positive, got {noc_clock_hz}")
+    if max_iterations <= 0:
+        raise ModelError(f"max_iterations must be positive, got {max_iterations}")
+    if core_latency_cycles < 0 or half_iteration_cycles <= 0:
+        raise ModelError("cycle counts must be non-negative (ncycles strictly positive)")
+    cycles_per_iteration = 2 * (core_latency_cycles + half_iteration_cycles)
+    return info_bits * noc_clock_hz / (cycles_per_iteration * max_iterations)
+
+
+def meets_wimax_requirement(throughput_bps: float, requirement_mbps: float = 70.0) -> bool:
+    """True when a throughput satisfies the IEEE 802.16e requirement (70 Mb/s)."""
+    if throughput_bps < 0:
+        raise ModelError(f"throughput must be non-negative, got {throughput_bps}")
+    return throughput_bps >= requirement_mbps * 1.0e6

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure raised by this package with a single ``except`` clause
+while still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of the supported range."""
+
+
+class CodeDefinitionError(ReproError):
+    """A channel-code definition (LDPC H matrix, turbo trellis, ...) is invalid."""
+
+
+class TopologyError(ReproError):
+    """A NoC topology request cannot be satisfied (bad size, degree, ...)."""
+
+
+class RoutingError(ReproError):
+    """Routing-table construction or on-line routing failed."""
+
+
+class MappingError(ReproError):
+    """Partitioning a code onto a NoC, or interleaver generation, failed."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulation reached an inconsistent state."""
+
+
+class DecodingError(ReproError):
+    """Functional decoding failed (dimension mismatch, non-binary input, ...)."""
+
+
+class ModelError(ReproError):
+    """A hardware (area/power/memory) model was queried outside its domain."""

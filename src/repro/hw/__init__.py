@@ -1,0 +1,37 @@
+"""Hardware cost models: area, memory, power and technology scaling.
+
+The paper reports post-synthesis results on a 90 nm CMOS library (Synopsys
+Design Compiler).  Synthesis cannot be run here, so this package provides a
+component-level model — standard-cell and SRAM bit-area figures multiplied by
+component counts derived from the architecture (FIFO depths from simulation,
+memory sizes from the code set, crossbar ports from the topology degree) —
+calibrated against the anchor points the paper itself publishes (NoC
+~0.61 mm², core 2.56 mm², total 3.17 mm², 61.8 % memories).  Trends across the
+design space (Table I) follow from the component counts, not from the anchors.
+"""
+
+from repro.hw.technology import TechnologyNode, TECH_90NM, TECH_65NM, TECH_45NM, scale_area
+from repro.hw.memory import DecoderMemoryPlan, plan_shared_memories
+from repro.hw.area import (
+    AreaBreakdown,
+    NocAreaModel,
+    ProcessingCoreAreaModel,
+    decoder_area,
+)
+from repro.hw.power import PowerModel, PowerReport
+
+__all__ = [
+    "TechnologyNode",
+    "TECH_90NM",
+    "TECH_65NM",
+    "TECH_45NM",
+    "scale_area",
+    "DecoderMemoryPlan",
+    "plan_shared_memories",
+    "AreaBreakdown",
+    "NocAreaModel",
+    "ProcessingCoreAreaModel",
+    "decoder_area",
+    "PowerModel",
+    "PowerReport",
+]

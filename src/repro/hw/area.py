@@ -1,0 +1,216 @@
+"""Component-level area models (90 nm CMOS unless stated otherwise).
+
+Two models are provided:
+
+* :class:`NocAreaModel` — area of the interconnection network alone, which is
+  what the paper's Table I reports: per node, the F input FIFOs (sized by the
+  *observed* maximum occupancy from the cycle-accurate simulation), the F x F
+  crossbar, the output registers, the arbitration / routing control logic and,
+  for the PP architecture, the routing table.  Following Table I's convention
+  the incoming-message (location) memories and the PEs are *not* included.
+* :class:`ProcessingCoreAreaModel` — area of the P processing cores: shared
+  7-bit / 5-bit memories (see :mod:`repro.hw.memory`) plus the SISO-exclusive
+  and LDPC-exclusive logic, with gate counts calibrated on the paper's
+  breakdown (61.8 % / 18.6 % / 19.6 % of a 2.56 mm^2 core for P = 22).
+
+Calibration anchors and the resulting absolute numbers are documented in
+EXPERIMENTS.md; relative trends across the design space follow from the
+component counts alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.errors import ModelError
+from repro.hw.memory import DecoderMemoryPlan
+from repro.hw.technology import TECH_90NM, TechnologyNode
+from repro.noc.config import NocConfiguration, NodeArchitecture
+
+#: NAND2-equivalent gate count of one SISO datapath (BMU, ECU, BTS/STB, control).
+SISO_LOGIC_GATES = 4900
+
+#: NAND2-equivalent gate count of one LDPC core datapath (MEU, CMP, address generator).
+LDPC_CORE_LOGIC_GATES = 5200
+
+#: NAND2-equivalent gate count of one node's arbitration / flow-control logic.
+NODE_CONTROL_GATES = 2000
+
+#: Maximum input-FIFO depth of the AP architecture (off-line routing bounds it).
+AP_MAX_FIFO_DEPTH = 4
+
+#: Minimum FIFO depth synthesised regardless of observed occupancy.
+MIN_FIFO_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area figures (mm^2) of one decoder configuration."""
+
+    noc_mm2: float
+    core_memory_mm2: float
+    siso_logic_mm2: float
+    ldpc_logic_mm2: float
+
+    @property
+    def core_mm2(self) -> float:
+        """Processing-core area (memories + SISO logic + LDPC logic)."""
+        return self.core_memory_mm2 + self.siso_logic_mm2 + self.ldpc_logic_mm2
+
+    @property
+    def total_mm2(self) -> float:
+        """Total decoder area (core + NoC)."""
+        return self.core_mm2 + self.noc_mm2
+
+    @property
+    def memory_share(self) -> float:
+        """Fraction of the core occupied by the shared memories."""
+        return self.core_memory_mm2 / self.core_mm2 if self.core_mm2 else 0.0
+
+    @property
+    def noc_share(self) -> float:
+        """Fraction of the total area occupied by the NoC."""
+        return self.noc_mm2 / self.total_mm2 if self.total_mm2 else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"total {self.total_mm2:.2f} mm^2 (core {self.core_mm2:.2f}, "
+            f"NoC {self.noc_mm2:.2f} = {self.noc_share:.0%}; memories "
+            f"{self.memory_share:.1%} of core)"
+        )
+
+
+class NocAreaModel:
+    """Area of the interconnection network (Table I convention).
+
+    Parameters
+    ----------
+    technology:
+        Process node providing per-bit / per-gate areas.
+    """
+
+    def __init__(self, technology: TechnologyNode = TECH_90NM):
+        self.technology = technology
+
+    def node_area_um2(
+        self,
+        crossbar_size: int,
+        flit_bits: int,
+        fifo_depth: int,
+        routing_table_entries: int = 0,
+    ) -> float:
+        """Area of one routing element in um^2.
+
+        Parameters
+        ----------
+        crossbar_size:
+            ``F`` — number of crossbar ports (topology degree + 1).
+        flit_bits:
+            Width of one buffered message (payload + header + carried location).
+        fifo_depth:
+            Synthesised depth of each input FIFO.
+        routing_table_entries:
+            Number of (destination -> port) entries stored locally (PP only).
+        """
+        if crossbar_size < 2:
+            raise ModelError(f"crossbar_size must be >= 2, got {crossbar_size}")
+        if flit_bits <= 0 or fifo_depth <= 0:
+            raise ModelError("flit_bits and fifo_depth must be positive")
+        tech = self.technology
+        fifo_area = crossbar_size * fifo_depth * flit_bits * tech.register_bit_area_um2
+        output_regs = crossbar_size * flit_bits * tech.register_bit_area_um2
+        # Mux-based crossbar: one (F-1):1 multiplexer bit-slice per output port bit.
+        crossbar = crossbar_size * (crossbar_size - 1) * flit_bits * tech.gate_area_um2
+        control = NODE_CONTROL_GATES * tech.gate_area_um2
+        port_bits = max(1, ceil(log2(crossbar_size)))
+        routing_table = routing_table_entries * port_bits * tech.sram_bit_area_um2
+        return fifo_area + output_regs + crossbar + control + routing_table
+
+    def noc_area_mm2(
+        self,
+        n_nodes: int,
+        crossbar_size: int,
+        config: NocConfiguration,
+        per_node_fifo_depth: list[int] | int,
+    ) -> float:
+        """Total NoC area in mm^2 for a simulated configuration.
+
+        ``per_node_fifo_depth`` is either the per-node observed maximum FIFO
+        occupancy (from :class:`~repro.noc.simulator.SimulationResult`) or a
+        single depth applied to every node.  AP nodes cap the depth at
+        :data:`AP_MAX_FIFO_DEPTH` — the off-line routing computation is what
+        permits the shallow FIFOs — while PP nodes use the observed value.
+        """
+        if n_nodes <= 0:
+            raise ModelError(f"n_nodes must be positive, got {n_nodes}")
+        if isinstance(per_node_fifo_depth, int):
+            depths = [per_node_fifo_depth] * n_nodes
+        else:
+            depths = list(per_node_fifo_depth)
+            if len(depths) != n_nodes:
+                raise ModelError(
+                    f"per_node_fifo_depth has {len(depths)} entries for {n_nodes} nodes"
+                )
+        flit_bits = config.flit_bits(n_nodes)
+        is_pp = config.node_architecture is NodeArchitecture.PP
+        routing_entries = n_nodes - 1 if is_pp else 0
+        total_um2 = 0.0
+        for depth in depths:
+            effective_depth = max(MIN_FIFO_DEPTH, depth)
+            if not is_pp:
+                effective_depth = min(effective_depth, AP_MAX_FIFO_DEPTH)
+            total_um2 += self.node_area_um2(
+                crossbar_size=crossbar_size,
+                flit_bits=flit_bits,
+                fifo_depth=effective_depth,
+                routing_table_entries=routing_entries,
+            )
+        return total_um2 / 1.0e6
+
+
+class ProcessingCoreAreaModel:
+    """Area of the P processing cores (PEs) with their shared memories."""
+
+    def __init__(self, technology: TechnologyNode = TECH_90NM):
+        self.technology = technology
+
+    def core_area_mm2(self, n_pes: int, memory_plan: DecoderMemoryPlan) -> AreaBreakdown:
+        """Core area breakdown (NoC set to zero; combine with :class:`NocAreaModel`)."""
+        if n_pes <= 0:
+            raise ModelError(f"n_pes must be positive, got {n_pes}")
+        tech = self.technology
+        memory_mm2 = memory_plan.total_bits * tech.sram_bit_area_um2 / 1.0e6
+        siso_mm2 = n_pes * SISO_LOGIC_GATES * tech.gate_area_um2 / 1.0e6
+        ldpc_mm2 = n_pes * LDPC_CORE_LOGIC_GATES * tech.gate_area_um2 / 1.0e6
+        return AreaBreakdown(
+            noc_mm2=0.0,
+            core_memory_mm2=memory_mm2,
+            siso_logic_mm2=siso_mm2,
+            ldpc_logic_mm2=ldpc_mm2,
+        )
+
+
+def decoder_area(
+    n_pes: int,
+    crossbar_size: int,
+    config: NocConfiguration,
+    per_node_fifo_depth: list[int] | int,
+    memory_plan: DecoderMemoryPlan,
+    technology: TechnologyNode = TECH_90NM,
+) -> AreaBreakdown:
+    """Complete decoder area: processing cores plus NoC."""
+    core = ProcessingCoreAreaModel(technology).core_area_mm2(n_pes, memory_plan)
+    noc = NocAreaModel(technology).noc_area_mm2(
+        n_nodes=n_pes,
+        crossbar_size=crossbar_size,
+        config=config,
+        per_node_fifo_depth=per_node_fifo_depth,
+    )
+    return AreaBreakdown(
+        noc_mm2=noc,
+        core_memory_mm2=core.core_memory_mm2,
+        siso_logic_mm2=core.siso_logic_mm2,
+        ldpc_logic_mm2=core.ldpc_logic_mm2,
+    )

@@ -1,0 +1,52 @@
+"""LDPC substrate: QC-LDPC codes, the WiMAX (IEEE 802.16e) code class and decoders.
+
+The paper's design case is the full set of WiMAX LDPC codes; the worst case
+driving the NoC sizing is the ``n = 2304``, rate-1/2 code (1152 parity checks
+of degree 6/7).  This package provides:
+
+* :class:`~repro.ldpc.hmatrix.ParityCheckMatrix` — sparse H representation,
+* :class:`~repro.ldpc.qc.QCBaseMatrix` — quasi-cyclic base matrices and their
+  expansion,
+* :mod:`~repro.ldpc.wimax` — the 802.16e code class (all rates and lengths),
+* :class:`~repro.ldpc.encoder.LDPCEncoder` — systematic encoding,
+* :class:`~repro.ldpc.layered.LayeredMinSumDecoder` — the layered
+  normalized-min-sum decoder of paper eqs. (6)-(11),
+* :class:`~repro.ldpc.flooding.FloodingDecoder` — two-phase belief propagation
+  used as a reference baseline,
+* :class:`~repro.ldpc.tanner.TannerGraph` — bipartite graph view used by the
+  mapping substrate.
+"""
+
+from repro.ldpc.hmatrix import ParityCheckMatrix
+from repro.ldpc.qc import QCBaseMatrix, expand_base_matrix
+from repro.ldpc.wimax import (
+    WIMAX_CODE_RATES,
+    WIMAX_EXPANSION_FACTORS,
+    WimaxLdpcCode,
+    wimax_ldpc_code,
+    list_wimax_codes,
+)
+from repro.ldpc.encoder import LDPCEncoder
+from repro.ldpc.tanner import TannerGraph
+from repro.ldpc.layered import LayeredMinSumDecoder, LayeredDecoderResult
+from repro.ldpc.flooding import FloodingDecoder, FloodingDecoderResult
+from repro.ldpc.checknode import first_two_minima, min_sum_check_update
+
+__all__ = [
+    "ParityCheckMatrix",
+    "QCBaseMatrix",
+    "expand_base_matrix",
+    "WIMAX_CODE_RATES",
+    "WIMAX_EXPANSION_FACTORS",
+    "WimaxLdpcCode",
+    "wimax_ldpc_code",
+    "list_wimax_codes",
+    "LDPCEncoder",
+    "TannerGraph",
+    "LayeredMinSumDecoder",
+    "LayeredDecoderResult",
+    "FloodingDecoder",
+    "FloodingDecoderResult",
+    "first_two_minima",
+    "min_sum_check_update",
+]

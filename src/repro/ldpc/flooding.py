@@ -1,0 +1,127 @@
+"""Two-phase (flooding) belief-propagation decoding.
+
+The paper contrasts the layered schedule it implements with classic two-phase
+scheduling, noting that layered decoding "nearly doubles the convergence
+speed".  This reference decoder implements the two-phase schedule — all check
+nodes updated from the previous iteration's variable messages, then all
+variable nodes — with either the exact sum-product kernel or the normalized
+min-sum kernel, and is used by tests and by the functional-comparison bench
+to reproduce that claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.ldpc.checknode import hard_decision, min_sum_check_update
+from repro.ldpc.hmatrix import ParityCheckMatrix
+
+
+@dataclass
+class FloodingDecoderResult:
+    """Outcome of one frame decode with the flooding schedule."""
+
+    hard_bits: np.ndarray
+    llrs: np.ndarray
+    iterations: int
+    converged: bool
+    unsatisfied_history: list[int] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when the decoder stopped on a valid codeword."""
+        return self.converged
+
+
+def _sum_product_check_update(q_values: np.ndarray) -> np.ndarray:
+    """Exact sum-product check update using the tanh rule (numerically clipped)."""
+    q = np.clip(np.asarray(q_values, dtype=np.float64), -30.0, 30.0)
+    tanh_half = np.tanh(q / 2.0)
+    # Leave-one-out product computed via the total product and division,
+    # guarding the zero-tanh case by falling back to an explicit loop.
+    result = np.empty_like(q)
+    if np.all(np.abs(tanh_half) > 1e-12):
+        total = np.prod(tanh_half)
+        leave_one_out = total / tanh_half
+    else:
+        leave_one_out = np.empty_like(q)
+        for k in range(q.size):
+            mask = np.ones(q.size, dtype=bool)
+            mask[k] = False
+            leave_one_out[k] = np.prod(tanh_half[mask])
+    leave_one_out = np.clip(leave_one_out, -0.999999999999, 0.999999999999)
+    result = 2.0 * np.arctanh(leave_one_out)
+    return result
+
+
+class FloodingDecoder:
+    """Two-phase BP decoder (sum-product or min-sum kernel)."""
+
+    def __init__(
+        self,
+        h: ParityCheckMatrix,
+        max_iterations: int = 20,
+        kernel: str = "sum-product",
+        scaling: float = 0.75,
+        early_termination: bool = True,
+    ):
+        if max_iterations <= 0:
+            raise DecodingError(f"max_iterations must be positive, got {max_iterations}")
+        if kernel not in ("sum-product", "min-sum"):
+            raise DecodingError(
+                f"kernel must be 'sum-product' or 'min-sum', got {kernel!r}"
+            )
+        self._h = h
+        self.max_iterations = int(max_iterations)
+        self.kernel = kernel
+        self.scaling = float(scaling)
+        self.early_termination = bool(early_termination)
+        self._rows = [h.row(r) for r in range(h.n_rows)]
+
+    def _check_update(self, q_values: np.ndarray) -> np.ndarray:
+        if self.kernel == "sum-product":
+            return _sum_product_check_update(q_values)
+        return min_sum_check_update(q_values, scaling=self.scaling)
+
+    def decode(self, channel_llrs: np.ndarray) -> FloodingDecoderResult:
+        """Decode one frame of channel LLRs with the flooding schedule."""
+        llrs_in = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs_in.shape != (self._h.n_cols,):
+            raise DecodingError(
+                f"expected {self._h.n_cols} channel LLRs, got shape {llrs_in.shape}"
+            )
+        n_rows = self._h.n_rows
+        # Check-to-variable messages, one array per check (row order).
+        c2v = [np.zeros(row.size, dtype=np.float64) for row in self._rows]
+        iterations_done = 0
+        converged = False
+        unsatisfied_history: list[int] = []
+        posterior = llrs_in.copy()
+        for iteration in range(self.max_iterations):
+            # Variable-to-check phase: v2c = posterior minus own previous c2v.
+            v2c = [posterior[self._rows[r]] - c2v[r] for r in range(n_rows)]
+            # Check-node phase.
+            c2v = [self._check_update(v2c[r]) for r in range(n_rows)]
+            # A-posteriori accumulation.
+            posterior = llrs_in.copy()
+            for r in range(n_rows):
+                posterior[self._rows[r]] += c2v[r]
+            iterations_done = iteration + 1
+            hard = hard_decision(posterior)
+            unsatisfied = int(self._h.syndrome(hard).sum())
+            unsatisfied_history.append(unsatisfied)
+            if unsatisfied == 0:
+                converged = True
+                if self.early_termination:
+                    break
+        hard = hard_decision(posterior)
+        return FloodingDecoderResult(
+            hard_bits=hard,
+            llrs=posterior,
+            iterations=iterations_done,
+            converged=converged,
+            unsatisfied_history=unsatisfied_history,
+        )

@@ -1,0 +1,158 @@
+"""Layered normalized-min-sum LDPC decoding (paper eqs. (6)-(11)).
+
+The layered (horizontal) schedule processes parity checks one after the other
+(or one *layer* — a group of row-independent checks — after the other) and
+propagates updated a-posteriori LLRs immediately, which roughly halves the
+number of iterations needed compared with two-phase flooding.  This is the
+schedule the paper's PEs implement, so this decoder doubles as the functional
+reference for the cycle-accurate PE model.
+
+Both floating-point and fixed-point (7-bit channel / 5-bit extrinsic, as in
+the paper) operation are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.quantize import CHANNEL_LLR_SPEC, EXTRINSIC_SPEC, LLRQuantizer
+from repro.errors import DecodingError
+from repro.ldpc.checknode import hard_decision, min_sum_check_update
+from repro.ldpc.hmatrix import ParityCheckMatrix
+
+
+@dataclass
+class LayeredDecoderResult:
+    """Outcome of one frame decode."""
+
+    hard_bits: np.ndarray
+    llrs: np.ndarray
+    iterations: int
+    converged: bool
+    syndrome_weight: int
+    #: Per-iteration number of unsatisfied checks (useful for convergence plots).
+    unsatisfied_history: list[int] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when the decoder stopped on a valid codeword."""
+        return self.converged
+
+
+class LayeredMinSumDecoder:
+    """Layered normalized-min-sum decoder over a :class:`ParityCheckMatrix`.
+
+    Parameters
+    ----------
+    h:
+        Parity-check matrix of the code.
+    max_iterations:
+        Maximum number of full iterations (every check processed once per
+        iteration).  The paper uses 10 for WiMAX LDPC codes.
+    scaling:
+        Min-sum normalisation factor ``sigma``; 0.75 is the conventional
+        hardware-friendly choice (a shift-and-add multiplier).
+    fixed_point:
+        When true, channel LLRs are quantised to the paper's 7-bit format and
+        extrinsic R messages to the 5-bit format before/after every update.
+    early_termination:
+        Stop as soon as the hard decision satisfies every parity check.
+    """
+
+    def __init__(
+        self,
+        h: ParityCheckMatrix,
+        max_iterations: int = 10,
+        scaling: float = 0.75,
+        fixed_point: bool = False,
+        early_termination: bool = True,
+    ):
+        if max_iterations <= 0:
+            raise DecodingError(f"max_iterations must be positive, got {max_iterations}")
+        if not 0.0 < scaling <= 1.0:
+            raise DecodingError(f"scaling must be in (0, 1], got {scaling}")
+        self._h = h
+        self.max_iterations = int(max_iterations)
+        self.scaling = float(scaling)
+        self.fixed_point = bool(fixed_point)
+        self.early_termination = bool(early_termination)
+        self._channel_quantizer = LLRQuantizer(CHANNEL_LLR_SPEC)
+        self._extrinsic_quantizer = LLRQuantizer(EXTRINSIC_SPEC)
+        # Pre-extract row structure once; the decoder touches it every layer.
+        self._rows = [h.row(r) for r in range(h.n_rows)]
+
+    @property
+    def h(self) -> ParityCheckMatrix:
+        """The parity-check matrix this decoder was built for."""
+        return self._h
+
+    def _quantize_channel(self, llrs: np.ndarray) -> np.ndarray:
+        if not self.fixed_point:
+            return llrs.astype(np.float64)
+        return self._channel_quantizer.quantize_to_real(llrs)
+
+    def _quantize_extrinsic(self, values: np.ndarray) -> np.ndarray:
+        if not self.fixed_point:
+            return values
+        return self._extrinsic_quantizer.quantize_to_real(values)
+
+    def decode(self, channel_llrs: np.ndarray) -> LayeredDecoderResult:
+        """Decode one frame of channel LLRs (positive LLR means bit 0).
+
+        Implements, for every check ``l`` and connected variable ``k``:
+
+        * ``Q_lk = lambda_k - R_lk_old``                      (eq. 6)
+        * ``R_lk_new = normalized min-sum over the other Q``  (eqs. 7-9, 11)
+        * ``lambda_k = Q_lk + R_lk_new``                      (eq. 10)
+        """
+        llrs_in = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs_in.shape != (self._h.n_cols,):
+            raise DecodingError(
+                f"expected {self._h.n_cols} channel LLRs, got shape {llrs_in.shape}"
+            )
+        lam = self._quantize_channel(llrs_in).copy()
+        # R messages, one per (check, edge) pair, stored per row in row order.
+        r_messages = [np.zeros(row.size, dtype=np.float64) for row in self._rows]
+        iterations_done = 0
+        converged = False
+        unsatisfied_history: list[int] = []
+        for iteration in range(self.max_iterations):
+            for check_idx, cols in enumerate(self._rows):
+                r_old = r_messages[check_idx]
+                q_values = lam[cols] - r_old
+                r_new = min_sum_check_update(q_values, scaling=self.scaling)
+                r_new = self._quantize_extrinsic(r_new)
+                lam[cols] = q_values + r_new
+                if self.fixed_point:
+                    lam[cols] = self._channel_quantizer.quantize_to_real(lam[cols])
+                r_messages[check_idx] = r_new
+            iterations_done = iteration + 1
+            hard = hard_decision(lam)
+            syndrome = self._h.syndrome(hard)
+            unsatisfied = int(syndrome.sum())
+            unsatisfied_history.append(unsatisfied)
+            if unsatisfied == 0:
+                converged = True
+                if self.early_termination:
+                    break
+        hard = hard_decision(lam)
+        syndrome_weight = int(self._h.syndrome(hard).sum())
+        return LayeredDecoderResult(
+            hard_bits=hard,
+            llrs=lam,
+            iterations=iterations_done,
+            converged=converged and syndrome_weight == 0,
+            syndrome_weight=syndrome_weight,
+            unsatisfied_history=unsatisfied_history,
+        )
+
+    def messages_per_iteration(self) -> int:
+        """Number of check-to-variable messages produced per full iteration.
+
+        This is the traffic volume the NoC must carry per iteration when the
+        code is mapped onto the decoder (before subtracting node-local
+        messages), and equals the number of edges of the Tanner graph.
+        """
+        return self._h.n_edges

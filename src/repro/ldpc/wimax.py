@@ -1,0 +1,228 @@
+"""IEEE 802.16e (WiMAX) QC-LDPC code class.
+
+WiMAX defines six code classes (rates 1/2, 2/3A, 2/3B, 3/4A, 3/4B and 5/6)
+over a common 24-block-column QC structure.  Codeword lengths range from
+576 to 2304 bits in 19 steps, obtained by expanding the rate's base matrix
+with ``z = n / 24`` (24 <= z <= 96 in steps of 4).  Base-matrix shifts are
+specified for ``z0 = 96`` and scaled to smaller ``z`` by flooring
+(``floor(s * z / 96)``) for every class except 2/3A, which uses ``s mod z``.
+
+The rate-1/2, n = 2304 code (1152 checks of degree 6/7) is the paper's
+worst-case design driver; its base matrix below follows the standard.  The
+other classes follow the standard's structure (dimensions, dual-diagonal
+parity part, degree profile); see DESIGN.md §7 for the reproduction caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import CodeDefinitionError
+from repro.ldpc.encoder import LDPCEncoder
+from repro.ldpc.hmatrix import ParityCheckMatrix
+from repro.ldpc.qc import QCBaseMatrix, scale_shift
+
+#: Code rates supported by IEEE 802.16e LDPC.
+WIMAX_CODE_RATES: tuple[str, ...] = ("1/2", "2/3A", "2/3B", "3/4A", "3/4B", "5/6")
+
+#: Valid expansion factors (z = n/24): 24, 28, ..., 96.
+WIMAX_EXPANSION_FACTORS: tuple[int, ...] = tuple(range(24, 100, 4))
+
+#: Number of block columns shared by every WiMAX base matrix.
+WIMAX_BLOCK_COLUMNS = 24
+
+_X = -1  # readability alias for the all-zero block marker
+
+# --------------------------------------------------------------------------- #
+# Base matrices, defined for z0 = 96 (shift values in [0, 96) or -1).
+# --------------------------------------------------------------------------- #
+_BASE_RATE_1_2 = [
+    [_X, 94, 73, _X, _X, _X, _X, _X, 55, 83, _X, _X, 7, 0, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X],
+    [_X, 27, _X, _X, _X, 22, 79, 9, _X, _X, _X, 12, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X, _X, _X],
+    [_X, _X, _X, 24, 22, 81, _X, 33, _X, _X, _X, 0, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X, _X],
+    [61, _X, 47, _X, _X, _X, _X, _X, 65, 25, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X],
+    [_X, _X, 39, _X, _X, _X, 84, _X, _X, 41, 72, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X],
+    [_X, _X, _X, _X, 46, 40, _X, 82, _X, _X, _X, 79, 0, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X],
+    [_X, _X, 95, 53, _X, _X, _X, _X, _X, 14, 18, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X],
+    [_X, 11, 73, _X, _X, _X, 2, _X, _X, 47, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X],
+    [12, _X, _X, _X, 83, 24, _X, 43, _X, _X, _X, 51, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X],
+    [_X, _X, _X, _X, _X, 94, _X, 59, _X, _X, 70, 72, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X],
+    [_X, _X, 7, 65, _X, _X, _X, _X, 39, 49, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0],
+    [43, _X, _X, _X, _X, 66, _X, 41, _X, _X, _X, 26, 7, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_2_3A = [
+    [3, 0, _X, _X, 2, 0, _X, 3, 7, _X, 1, 1, _X, _X, _X, _X, 1, 0, _X, _X, _X, _X, _X, _X],
+    [_X, _X, 1, _X, 36, _X, _X, 34, 10, _X, _X, 18, 2, _X, 3, 0, _X, 0, 0, _X, _X, _X, _X, _X],
+    [_X, _X, 12, 2, _X, 15, _X, 40, _X, 3, _X, 15, _X, 2, 13, _X, _X, _X, 0, 0, _X, _X, _X, _X],
+    [_X, _X, 19, 24, _X, 3, 0, _X, 6, _X, 17, _X, _X, _X, 8, 39, _X, _X, _X, 0, 0, _X, _X, _X],
+    [20, _X, 6, _X, _X, 10, 29, _X, _X, 28, _X, 14, _X, 38, _X, _X, 0, _X, _X, _X, 0, 0, _X, _X],
+    [_X, _X, 10, _X, 28, 20, _X, _X, 8, _X, 36, _X, 9, _X, 21, 45, _X, _X, _X, _X, _X, 0, 0, _X],
+    [35, 25, _X, 37, _X, 21, _X, _X, 5, _X, _X, 0, _X, 4, 20, _X, _X, _X, _X, _X, _X, _X, 0, 0],
+    [_X, 6, 6, _X, _X, _X, 4, _X, 14, 30, _X, 3, 36, _X, 14, _X, 1, _X, _X, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_2_3B = [
+    [2, _X, 19, _X, 47, _X, 48, _X, 36, _X, 82, _X, 47, _X, 15, _X, 95, 0, _X, _X, _X, _X, _X, _X],
+    [_X, 69, _X, 88, _X, 33, _X, 3, _X, 16, _X, 37, _X, 40, _X, 48, _X, 0, 0, _X, _X, _X, _X, _X],
+    [10, _X, 86, _X, 62, _X, 28, _X, 85, _X, 16, _X, 34, _X, 73, _X, _X, _X, 0, 0, _X, _X, _X, _X],
+    [_X, 28, _X, 32, _X, 81, _X, 27, _X, 88, _X, 5, _X, 56, _X, 37, _X, _X, _X, 0, 0, _X, _X, _X],
+    [23, _X, 29, _X, 15, _X, 30, _X, 66, _X, 24, _X, 50, _X, 62, _X, _X, _X, _X, _X, 0, 0, _X, _X],
+    [_X, 30, _X, 65, _X, 54, _X, 14, _X, 0, _X, 30, _X, 74, _X, 0, _X, _X, _X, _X, _X, 0, 0, _X],
+    [32, _X, 0, _X, 15, _X, 56, _X, 85, _X, 5, _X, 6, _X, 52, _X, 0, _X, _X, _X, _X, _X, 0, 0],
+    [_X, 0, _X, 47, _X, 13, _X, 61, _X, 84, _X, 55, _X, 78, _X, 41, 95, _X, _X, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_3_4A = [
+    [6, 38, 3, 93, _X, _X, _X, 30, 70, _X, 86, _X, 37, 38, 4, 11, _X, 46, 48, 0, _X, _X, _X, _X],
+    [62, 94, 19, 84, _X, 92, 78, _X, 15, _X, _X, 92, _X, 45, 24, 32, 30, _X, _X, 0, 0, _X, _X, _X],
+    [71, _X, 55, _X, 12, 66, 45, 79, _X, 78, _X, _X, 10, _X, 22, 55, 70, 82, _X, _X, 0, 0, _X, _X],
+    [38, 61, _X, 66, 9, 73, 47, 64, _X, 39, 61, 43, _X, _X, _X, _X, 95, 32, 0, _X, _X, 0, 0, _X],
+    [_X, _X, _X, _X, 32, 52, 55, 80, 95, 22, 6, 51, 24, 90, 44, 20, _X, _X, _X, _X, _X, _X, 0, 0],
+    [_X, 63, 31, 88, 20, _X, _X, _X, 6, 40, 56, 16, 71, 53, _X, _X, 27, 26, 48, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_3_4B = [
+    [_X, 81, _X, 28, _X, _X, 14, 25, 17, _X, _X, 85, 29, 52, 78, 95, 22, 92, 0, 0, _X, _X, _X, _X],
+    [42, _X, 14, 68, 32, _X, _X, _X, _X, 70, 43, 11, 36, 40, 33, 57, 38, 24, _X, 0, 0, _X, _X, _X],
+    [_X, _X, 20, _X, _X, 63, 39, _X, 70, 67, _X, 38, 4, 72, 47, 29, 60, 5, 80, _X, 0, 0, _X, _X],
+    [64, 2, _X, _X, 63, _X, _X, 3, 51, _X, 81, 15, 94, 9, 85, 36, 14, 19, _X, _X, _X, 0, 0, _X],
+    [_X, 53, 60, 80, _X, 26, 75, _X, _X, _X, _X, 86, 77, 1, 3, 72, 60, 25, _X, _X, _X, _X, 0, 0],
+    [77, _X, _X, _X, 15, 28, _X, 35, _X, 72, 30, 68, 85, 84, 26, 64, 11, 89, 0, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_5_6 = [
+    [1, 25, 55, _X, 47, 4, _X, 91, 84, 8, 86, 52, 82, 33, 5, 0, 36, 20, 4, 77, 80, 0, _X, _X],
+    [_X, 6, _X, 36, 40, 47, 12, 79, 47, _X, 41, 21, 12, 71, 14, 72, 0, 44, 49, 0, 0, 0, 0, _X],
+    [51, 81, 83, 4, 67, _X, 21, _X, 31, 24, 91, 61, 81, 9, 86, 78, 60, 88, 67, 15, _X, _X, 0, 0],
+    [50, _X, 50, 15, _X, 36, 13, 10, 11, 20, 53, 90, 29, 92, 57, 30, 84, 92, 11, 66, 80, _X, _X, 0],
+]
+
+_BASE_MATRICES_Z96: dict[str, list[list[int]]] = {
+    "1/2": _BASE_RATE_1_2,
+    "2/3A": _BASE_RATE_2_3A,
+    "2/3B": _BASE_RATE_2_3B,
+    "3/4A": _BASE_RATE_3_4A,
+    "3/4B": _BASE_RATE_3_4B,
+    "5/6": _BASE_RATE_5_6,
+}
+
+#: Code classes whose shifts are scaled by the modulo rule instead of flooring.
+_MODULO_SCALED_RATES = frozenset({"2/3A"})
+
+
+def _scaled_base_matrix(rate: str, z: int) -> QCBaseMatrix:
+    template = _BASE_MATRICES_Z96[rate]
+    use_modulo = rate in _MODULO_SCALED_RATES
+    scaled = [
+        [scale_shift(entry, z, 96, use_modulo=use_modulo) for entry in row]
+        for row in template
+    ]
+    return QCBaseMatrix.from_lists(scaled, z)
+
+
+@dataclass
+class WimaxLdpcCode:
+    """One fully expanded WiMAX LDPC code.
+
+    Attributes
+    ----------
+    rate_name:
+        One of :data:`WIMAX_CODE_RATES`.
+    z:
+        Expansion factor (``n / 24``).
+    base:
+        The scaled base matrix.
+    h:
+        The expanded parity-check matrix.
+    """
+
+    rate_name: str
+    z: int
+    base: QCBaseMatrix
+    h: ParityCheckMatrix
+
+    def __post_init__(self) -> None:
+        self._encoder: LDPCEncoder | None = None
+
+    @property
+    def n(self) -> int:
+        """Codeword length in bits."""
+        return self.h.n_cols
+
+    @property
+    def m(self) -> int:
+        """Number of parity checks."""
+        return self.h.n_rows
+
+    @property
+    def k(self) -> int:
+        """Number of information bits."""
+        return self.n - self.m
+
+    @property
+    def rate(self) -> float:
+        """Nominal code rate."""
+        return self.k / self.n
+
+    @property
+    def encoder(self) -> LDPCEncoder:
+        """Systematic encoder for this code (constructed lazily and cached)."""
+        if self._encoder is None:
+            self._encoder = LDPCEncoder(self.h)
+        return self._encoder
+
+    def encode(self, info_bits: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` information bits into an ``n``-bit codeword."""
+        return self.encoder.encode(info_bits)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"WiMAX LDPC rate {self.rate_name}, n={self.n}, k={self.k}, z={self.z}, "
+            f"checks={self.m}, edges={self.h.n_edges}"
+        )
+
+
+@lru_cache(maxsize=None)
+def wimax_ldpc_code(n: int = 2304, rate: str = "1/2") -> WimaxLdpcCode:
+    """Construct (and cache) the WiMAX LDPC code of length ``n`` and class ``rate``.
+
+    Parameters
+    ----------
+    n:
+        Codeword length in bits; must be a multiple of 24 with ``n/24`` in
+        :data:`WIMAX_EXPANSION_FACTORS` (i.e. 576, 672, ..., 2304).
+    rate:
+        Code class name from :data:`WIMAX_CODE_RATES`.
+    """
+    if rate not in WIMAX_CODE_RATES:
+        raise CodeDefinitionError(
+            f"unknown WiMAX LDPC rate {rate!r}; valid rates: {WIMAX_CODE_RATES}"
+        )
+    if n % WIMAX_BLOCK_COLUMNS != 0:
+        raise CodeDefinitionError(
+            f"WiMAX codeword length must be a multiple of {WIMAX_BLOCK_COLUMNS}, got {n}"
+        )
+    z = n // WIMAX_BLOCK_COLUMNS
+    if z not in WIMAX_EXPANSION_FACTORS:
+        raise CodeDefinitionError(
+            f"expansion factor {z} (n={n}) is not a valid WiMAX value; "
+            f"valid z: {WIMAX_EXPANSION_FACTORS}"
+        )
+    base = _scaled_base_matrix(rate, z)
+    return WimaxLdpcCode(rate_name=rate, z=z, base=base, h=base.expand())
+
+
+def list_wimax_codes(rates: tuple[str, ...] = WIMAX_CODE_RATES) -> list[tuple[int, str]]:
+    """Enumerate every (n, rate) pair defined by the standard for ``rates``."""
+    pairs: list[tuple[int, str]] = []
+    for z in WIMAX_EXPANSION_FACTORS:
+        for rate in rates:
+            if rate not in WIMAX_CODE_RATES:
+                raise CodeDefinitionError(f"unknown WiMAX LDPC rate {rate!r}")
+            pairs.append((z * WIMAX_BLOCK_COLUMNS, rate))
+    return pairs

@@ -1,0 +1,32 @@
+"""Mapping substrate: partitioning codes onto the NoC and building equivalent interleavers.
+
+Reproduces the pre-processing flow of paper Section III-A:
+
+1. build the check adjacency graph of the LDPC code (layered schedule),
+2. partition it over the P NoC nodes with a balanced min-cut partitioner
+   (:mod:`repro.mapping.partition`, the Metis substitute),
+3. derive the *equivalent interleaver* — the ordered per-PE message lists of
+   one decoding iteration (:mod:`repro.mapping.ldpc_mapping`),
+4. evaluate candidate mappings for length and message-distribution uniformity
+   and keep the best (:mod:`repro.mapping.quality`).
+
+Turbo codes use the contiguous block partitioning of
+:mod:`repro.mapping.turbo_mapping`, with traffic generated directly from the
+CTC permutation.
+"""
+
+from repro.mapping.partition import PartitionResult, partition_graph
+from repro.mapping.ldpc_mapping import LdpcMapping, map_ldpc_code
+from repro.mapping.turbo_mapping import TurboMapping, map_turbo_code
+from repro.mapping.quality import MappingQuality, evaluate_traffic_quality
+
+__all__ = [
+    "PartitionResult",
+    "partition_graph",
+    "LdpcMapping",
+    "map_ldpc_code",
+    "TurboMapping",
+    "map_turbo_code",
+    "MappingQuality",
+    "evaluate_traffic_quality",
+]

@@ -1,0 +1,68 @@
+"""NoC substrate: topologies, routing, node architecture and cycle-accurate simulation.
+
+This package reproduces the intra-IP NoC studied in Section III of the paper:
+
+* :mod:`~repro.noc.topologies` — the topology set T (ring, 2D mesh, toroidal
+  mesh, spidergon, rectangular honeycomb, generalized De Bruijn, generalized
+  Kautz),
+* :mod:`~repro.noc.routing` — shortest-path routing tables (single shortest
+  path and all-local-shortest-paths variants),
+* :mod:`~repro.noc.config` — the simulation parameter set (R, RL, DCM/SCM,
+  routing algorithm, AP/PP node architecture),
+* :mod:`~repro.noc.message` / :mod:`~repro.noc.fifo` — packets and input FIFOs,
+* :mod:`~repro.noc.node` — the routing element of Fig. 1 (F x F crossbar,
+  input FIFOs, output registers) plus the PE injection port,
+* :mod:`~repro.noc.traffic` — per-PE ordered message lists (the "equivalent
+  interleaver" view of a decoding iteration),
+* :mod:`~repro.noc.simulator` — the cycle-accurate simulator that measures
+  ``ncycles`` and FIFO occupancies for a given configuration.
+"""
+
+from repro.noc.topologies import (
+    Topology,
+    TOPOLOGY_FAMILIES,
+    build_topology,
+    generalized_de_bruijn,
+    generalized_kautz,
+    honeycomb_torus,
+    mesh_2d,
+    ring,
+    spidergon,
+    toroidal_mesh,
+)
+from repro.noc.routing import RoutingTables, build_routing_tables
+from repro.noc.config import (
+    CollisionPolicy,
+    NodeArchitecture,
+    NocConfiguration,
+    RoutingAlgorithm,
+)
+from repro.noc.message import Message
+from repro.noc.fifo import MessageFifo
+from repro.noc.traffic import NodeTraffic, TrafficPattern
+from repro.noc.simulator import NocSimulator, SimulationResult
+
+__all__ = [
+    "Topology",
+    "TOPOLOGY_FAMILIES",
+    "build_topology",
+    "ring",
+    "mesh_2d",
+    "toroidal_mesh",
+    "spidergon",
+    "honeycomb_torus",
+    "generalized_de_bruijn",
+    "generalized_kautz",
+    "RoutingTables",
+    "build_routing_tables",
+    "NocConfiguration",
+    "RoutingAlgorithm",
+    "CollisionPolicy",
+    "NodeArchitecture",
+    "Message",
+    "MessageFifo",
+    "TrafficPattern",
+    "NodeTraffic",
+    "NocSimulator",
+    "SimulationResult",
+]

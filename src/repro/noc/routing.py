@@ -1,0 +1,142 @@
+"""Shortest-path routing tables for the NoC.
+
+The paper's routing algorithms rely on the off-line computation of shortest
+paths between all node pairs:
+
+* **SSP** (single shortest path) keeps one next-hop output port per
+  (current node, destination) pair — one routing table;
+* **ASP** (all local shortest paths) keeps *every* output port that lies on
+  some shortest path — multiple routing tables, enabling the traffic-spreading
+  policy (ASP-FT).
+
+Both are produced by :func:`build_routing_tables` using breadth-first search
+from every destination over the reversed graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.noc.topologies import Topology
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """Precomputed distance and next-hop information for one topology.
+
+    Attributes
+    ----------
+    topology:
+        The topology the tables were built for.
+    distance:
+        ``(P, P)`` hop-count matrix.
+    next_ports:
+        ``next_ports[node][dest]`` is the tuple of *output-port indices* (local
+        arc positions, i.e. indices into ``topology.out_arcs(node)``) that lie
+        on a shortest path from ``node`` to ``dest``.  Empty for
+        ``node == dest``.
+    """
+
+    topology: Topology
+    distance: np.ndarray
+    next_ports: tuple[tuple[tuple[int, ...], ...], ...]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def single_next_port(self, node: int, dest: int) -> int:
+        """The SSP output port from ``node`` towards ``dest`` (first shortest path)."""
+        ports = self.next_ports[node][dest]
+        if not ports:
+            raise RoutingError(f"no route from node {node} to node {dest}")
+        return ports[0]
+
+    def all_next_ports(self, node: int, dest: int) -> tuple[int, ...]:
+        """All output ports of ``node`` lying on a shortest path to ``dest``."""
+        ports = self.next_ports[node][dest]
+        if not ports:
+            raise RoutingError(f"no route from node {node} to node {dest}")
+        return ports
+
+    @property
+    def diameter(self) -> int:
+        """Largest shortest-path distance between any node pair."""
+        return int(self.distance.max())
+
+    @property
+    def average_distance(self) -> float:
+        """Mean shortest-path distance over ordered pairs of distinct nodes."""
+        n = self.topology.n_nodes
+        mask = ~np.eye(n, dtype=bool)
+        return float(self.distance[mask].mean())
+
+    def routing_table_entries(self, algorithm_uses_all_paths: bool) -> int:
+        """Number of (node, dest) -> port entries stored by the routing memory.
+
+        SSP stores one port per destination per node; ASP stores every
+        shortest-path port.  Used by the area model of the PP node
+        architecture.
+        """
+        n = self.topology.n_nodes
+        if not algorithm_uses_all_paths:
+            return n * (n - 1)
+        total = 0
+        for node in range(n):
+            for dest in range(n):
+                if node != dest:
+                    total += len(self.next_ports[node][dest])
+        return total
+
+
+def build_routing_tables(topology: Topology) -> RoutingTables:
+    """Compute hop distances and shortest-path output ports for every node pair."""
+    n = topology.n_nodes
+    # Reverse adjacency: for BFS from each destination over reversed arcs.
+    reverse_adj: list[list[int]] = [[] for _ in range(n)]
+    for src, dst in topology.arcs:
+        reverse_adj[dst].append(src)
+
+    distance = np.full((n, n), -1, dtype=np.int64)
+    for dest in range(n):
+        distance[dest, dest] = 0
+        queue: deque[int] = deque([dest])
+        while queue:
+            node = queue.popleft()
+            for predecessor in reverse_adj[node]:
+                if distance[predecessor, dest] < 0:
+                    distance[predecessor, dest] = distance[node, dest] + 1
+                    queue.append(predecessor)
+    if (distance < 0).any():
+        raise RoutingError(
+            f"topology {topology.name} is not strongly connected; routing impossible"
+        )
+
+    next_ports: list[list[tuple[int, ...]]] = []
+    for node in range(n):
+        out_arcs = topology.out_arcs(node)
+        per_dest: list[tuple[int, ...]] = []
+        for dest in range(n):
+            if node == dest:
+                per_dest.append(())
+                continue
+            ports = tuple(
+                port_index
+                for port_index, (_, neighbor) in enumerate(out_arcs)
+                if distance[neighbor, dest] + 1 == distance[node, dest]
+            )
+            if not ports:
+                raise RoutingError(
+                    f"inconsistent distances: no shortest-path port from {node} to {dest}"
+                )
+            per_dest.append(ports)
+        next_ports.append(per_dest)
+
+    return RoutingTables(
+        topology=topology,
+        distance=distance,
+        next_ports=tuple(tuple(row) for row in next_ports),
+    )

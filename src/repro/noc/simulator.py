@@ -1,0 +1,297 @@
+"""Cycle-accurate simulation of the message-passing phase.
+
+The simulator advances the NoC one clock cycle at a time until every message
+of a :class:`~repro.noc.traffic.TrafficPattern` has been delivered to its
+destination PE memory, reproducing the behaviour of the SystemC "Turbo NoC"
+tool the paper relies on.  Per cycle:
+
+1. link arrivals scheduled on the previous cycle are pushed into the
+   destination node's input FIFOs;
+2. every node performs one crossbar pass — each input FIFO may forward its
+   head message to one output port (network link or local memory port),
+   subject to one-message-per-output-port arbitration, the configured serving
+   policy (RR / FL), path choice (SSP / ASP-FT) and collision management
+   (DCM / SCM);
+3. every PE injects new messages at rate ``R`` into its injection FIFO
+   (local messages bypass the network when ``RL = 0``).
+
+The number of cycles needed to drain all traffic is ``ncycles`` of paper
+eq. (12); the maximum FIFO occupancies size the hardware FIFOs and feed the
+area model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.noc.config import CollisionPolicy, NocConfiguration
+from repro.noc.message import Message, MessageStatistics
+from repro.noc.node import RouterNode
+from repro.noc.routing import RoutingTables, build_routing_tables
+from repro.noc.topologies import Topology
+from repro.noc.traffic import TrafficPattern
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class SimulationResult:
+    """Measurements of one simulated message-passing phase."""
+
+    ncycles: int
+    total_messages: int
+    delivered_messages: int
+    local_bypassed: int
+    max_fifo_occupancy: int
+    max_injection_occupancy: int
+    per_node_max_fifo: list[int] = field(default_factory=list)
+    statistics: MessageStatistics = field(default_factory=MessageStatistics)
+    link_utilization: float = 0.0
+    config_label: str = ""
+    topology_label: str = ""
+    traffic_label: str = ""
+
+    @property
+    def all_delivered(self) -> bool:
+        """True when every message reached its destination."""
+        return self.delivered_messages == self.total_messages
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        return (
+            f"{self.topology_label} | {self.config_label} | ncycles={self.ncycles} "
+            f"max_fifo={self.max_fifo_occupancy} mean_lat={self.statistics.mean_latency:.1f}"
+        )
+
+
+class NocSimulator:
+    """Cycle-accurate simulator for one (topology, configuration) pair.
+
+    Parameters
+    ----------
+    topology:
+        The NoC topology.
+    config:
+        Simulation parameters (routing algorithm, R, RL, DCM/SCM, FIFO size).
+    routing_tables:
+        Optional precomputed tables (recomputed from the topology if omitted).
+    seed:
+        Seed for the SCM deflection randomness.
+    max_cycles:
+        Hard safety bound on the simulated cycle count.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: NocConfiguration,
+        routing_tables: RoutingTables | None = None,
+        seed: int = 0,
+        max_cycles: int = 200_000,
+    ):
+        if max_cycles <= 0:
+            raise SimulationError(f"max_cycles must be positive, got {max_cycles}")
+        self.topology = topology
+        self.config = config
+        self.tables = (
+            routing_tables if routing_tables is not None else build_routing_tables(topology)
+        )
+        if self.tables.topology is not topology:
+            raise SimulationError("routing tables were built for a different topology")
+        self.seed = seed
+        self.max_cycles = max_cycles
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def run(self, traffic: TrafficPattern) -> SimulationResult:
+        """Simulate one message-passing phase and return its measurements."""
+        if traffic.n_nodes != self.topology.n_nodes:
+            raise SimulationError(
+                f"traffic references {traffic.n_nodes} nodes but the topology has "
+                f"{self.topology.n_nodes}"
+            )
+        rng = make_rng(self.seed)
+        nodes = [
+            RouterNode(
+                node_id=node,
+                out_degree=self.topology.out_degree(node),
+                in_degree=self.topology.in_degree(node),
+                config=self.config,
+                tables=self.tables,
+                rng=rng,
+            )
+            for node in range(self.topology.n_nodes)
+        ]
+        # Map each arc index to (destination node, input-port index at destination).
+        arc_to_input: dict[int, tuple[int, int]] = {}
+        for node in range(self.topology.n_nodes):
+            for input_port, (arc_index, _) in enumerate(self.topology.in_arcs(node)):
+                arc_to_input[arc_index] = (node, input_port)
+        # Per node: output port index -> (neighbor node, neighbor input port).
+        out_port_map: list[list[tuple[int, int]]] = []
+        for node in range(self.topology.n_nodes):
+            mapping = []
+            for arc_index, _ in self.topology.out_arcs(node):
+                mapping.append(arc_to_input[arc_index])
+            out_port_map.append(mapping)
+
+        stats = MessageStatistics()
+        injection_pointer = [0] * traffic.n_nodes
+        injection_credit = [0.0] * traffic.n_nodes
+        next_message_id = 0
+        total_messages = traffic.total_messages
+        delivered = 0
+        local_bypassed = 0
+        total_hops_used = 0
+        # Arrivals scheduled for the *next* cycle: list of (node, input_port, message).
+        pending_arrivals: list[tuple[int, int, Message]] = []
+
+        cycle = 0
+        while delivered < total_messages:
+            if cycle > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_cycles} cycles with "
+                    f"{total_messages - delivered} messages still in flight"
+                )
+            # 1. Apply link arrivals scheduled on the previous cycle.
+            for node_id, input_port, message in pending_arrivals:
+                nodes[node_id].input_fifos[input_port].push(message)
+            pending_arrivals = []
+
+            # 2. Crossbar pass on every node.
+            scheduled_per_fifo: dict[tuple[int, int], int] = {}
+            for node in nodes:
+                delivered_now, hops_now = self._crossbar_pass(
+                    node, nodes, out_port_map, pending_arrivals, scheduled_per_fifo, cycle, stats
+                )
+                delivered += delivered_now
+                total_hops_used += hops_now
+
+            # 3. PE injection at rate R.  With RL = 0, messages addressed to the
+            # local PE never touch the network interface: they are written to
+            # the PE's internal queue as soon as they are produced and do not
+            # consume the per-cycle injection budget.
+            for node in nodes:
+                node_id = node.node_id
+                node_traffic = traffic.per_node[node_id]
+                if injection_pointer[node_id] >= node_traffic.n_messages:
+                    continue
+                injection_credit[node_id] += self.config.injection_rate
+                while injection_pointer[node_id] < node_traffic.n_messages:
+                    idx = injection_pointer[node_id]
+                    destination = node_traffic.destinations[idx]
+                    location = node_traffic.memory_locations[idx]
+                    is_bypass = destination == node_id and not self.config.route_local
+                    if not is_bypass and (
+                        injection_credit[node_id] < 1.0 or node.injection_fifo.is_full()
+                    ):
+                        break
+                    message = Message(
+                        identifier=next_message_id,
+                        source=node_id,
+                        destination=destination,
+                        memory_location=location,
+                        injection_cycle=cycle,
+                    )
+                    next_message_id += 1
+                    injection_pointer[node_id] += 1
+                    if is_bypass:
+                        message.delivery_cycle = cycle
+                        delivered += 1
+                        local_bypassed += 1
+                        stats.record(message)
+                    else:
+                        injection_credit[node_id] -= 1.0
+                        node.injection_fifo.push(message)
+            cycle += 1
+
+        per_node_max = [node.max_input_occupancy() for node in nodes]
+        max_injection = max(node.max_injection_occupancy() for node in nodes)
+        link_utilization = 0.0
+        if cycle > 0 and self.topology.n_arcs > 0:
+            link_utilization = total_hops_used / (self.topology.n_arcs * cycle)
+        return SimulationResult(
+            ncycles=cycle,
+            total_messages=total_messages,
+            delivered_messages=delivered,
+            local_bypassed=local_bypassed,
+            max_fifo_occupancy=max(per_node_max) if per_node_max else 0,
+            max_injection_occupancy=max_injection,
+            per_node_max_fifo=per_node_max,
+            statistics=stats,
+            link_utilization=link_utilization,
+            config_label=self.config.describe(),
+            topology_label=self.topology.name,
+            traffic_label=traffic.label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One crossbar pass for one node
+    # ------------------------------------------------------------------ #
+    def _crossbar_pass(
+        self,
+        node: RouterNode,
+        nodes: list[RouterNode],
+        out_port_map: list[list[tuple[int, int]]],
+        pending_arrivals: list[tuple[int, int, Message]],
+        scheduled_per_fifo: dict[tuple[int, int], int],
+        cycle: int,
+        stats: MessageStatistics,
+    ) -> tuple[int, int]:
+        """Route at most one message per input FIFO and per output port; return
+        (messages delivered locally, hops consumed)."""
+        fifos = node.all_input_fifos()
+        port_targets = out_port_map[node.node_id]
+
+        def downstream_has_room(output_port: int) -> bool:
+            target_node, target_port = port_targets[output_port]
+            fifo = nodes[target_node].input_fifos[target_port]
+            scheduled = scheduled_per_fifo.get((target_node, target_port), 0)
+            return fifo.occupancy + scheduled < fifo.capacity
+
+        free_ports = {
+            port for port in range(node.out_degree) if downstream_has_room(port)
+        }
+        local_port_free = True
+        delivered_now = 0
+        hops_now = 0
+
+        for input_port in node.serving_order():
+            message = fifos[input_port].head()
+            if message is None:
+                continue
+            if message.destination == node.node_id:
+                if local_port_free:
+                    fifos[input_port].pop()
+                    message.delivery_cycle = cycle
+                    node.delivered_local += 1
+                    delivered_now += 1
+                    stats.record(message)
+                    local_port_free = False
+                # A locally destined message that loses the memory port simply
+                # waits; deflecting it away from its destination would be wasteful.
+                continue
+            allowed = node.desired_output_ports(message)
+            output_port = node.choose_output_port(allowed, free_ports)
+            deflected = False
+            if output_port is None and self.config.collision_policy is CollisionPolicy.SCM:
+                output_port = node.choose_deflection_port(free_ports)
+                deflected = output_port is not None
+            if output_port is None:
+                continue  # DCM (or no free port at all): the message waits.
+            fifos[input_port].pop()
+            free_ports.discard(output_port)
+            node.record_send(output_port)
+            target_node, target_port = port_targets[output_port]
+            scheduled_per_fifo[(target_node, target_port)] = (
+                scheduled_per_fifo.get((target_node, target_port), 0) + 1
+            )
+            message.hops += 1
+            hops_now += 1
+            if deflected:
+                message.misroutes += 1
+            pending_arrivals.append((target_node, target_port, message))
+        return delivered_now, hops_now

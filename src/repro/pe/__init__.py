@@ -1,0 +1,29 @@
+"""Processing-element architecture models (paper Section IV, Figs. 2-3).
+
+Each NoC node hosts one PE containing two decoding cores that share their
+internal memories:
+
+* :class:`~repro.pe.ldpc_core.LdpcCoreModel` — the sequential layered LDPC
+  core of Fig. 2 (Minimum Extraction Unit, R memory, address generator),
+* :class:`~repro.pe.siso_core.SisoCoreModel` — the double-binary SISO of
+  Fig. 3 (BMU, alpha/beta/b(e) unit, ECU, BTS/STB converters),
+* :class:`~repro.pe.processing_element.ProcessingElement` — the dual-mode PE
+  combining both with the shared-memory plan of :mod:`repro.hw.memory`.
+
+The models answer timing questions (core latency, cycles per iteration,
+message production rate) that feed paper eq. (12), and expose a structural
+description used by the architecture-tour example to "reproduce" Figs. 1-3.
+"""
+
+from repro.pe.ldpc_core import LdpcCoreModel, LdpcCoreTiming
+from repro.pe.siso_core import SisoCoreModel, SisoCoreTiming
+from repro.pe.processing_element import DecoderMode, ProcessingElement
+
+__all__ = [
+    "LdpcCoreModel",
+    "LdpcCoreTiming",
+    "SisoCoreModel",
+    "SisoCoreTiming",
+    "ProcessingElement",
+    "DecoderMode",
+]

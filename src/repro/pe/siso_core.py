@@ -1,0 +1,109 @@
+"""Model of the turbo SISO core (paper Fig. 3).
+
+The SISO processes its window of the frame with the BCJR schedule: the Branch
+Metric Unit (BMU) computes ``gamma``, a shared unit computes ``beta`` first
+(stored in registers), then ``alpha`` and ``b(e)`` on the fly, and the
+Extrinsic Computation Unit (ECU) produces the output LLRs.  Incoming bit-level
+a-priori values are expanded by the Bit-To-Symbol unit (BTS) and outgoing
+extrinsics are compressed by the Symbol-To-Bit unit (STB).
+
+Two architectural facts from the paper drive the timing model:
+
+* the SISO produces **two** extrinsic values every **three** clock cycles, and
+* it therefore runs at **half** the NoC clock frequency
+  (``f_SISO = 0.5 * f_NoC``), which in NoC cycles is an injection rate of
+  ``2 / 3 / 2 = 1/3`` message per NoC cycle (the paper's best turbo working
+  point ``R = 0.33``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Extrinsic values produced per group of SISO clock cycles.
+SISO_OUTPUTS_PER_GROUP = 2
+SISO_CYCLES_PER_GROUP = 3
+
+#: SISO pipeline latency in SISO clock cycles (window warm-up, metric init).
+SISO_CORE_LATENCY_CYCLES = 15
+
+#: Ratio between the SISO clock and the NoC clock.
+SISO_TO_NOC_CLOCK_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class SisoCoreTiming:
+    """Cycle-level summary of one SISO's half-iteration workload."""
+
+    window_couples: int
+    siso_cycles: int
+    noc_cycles: int
+    pipeline_latency: int
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def busy_noc_cycles(self) -> int:
+        """NoC cycles the SISO occupies for one half-iteration, latency included."""
+        return self.noc_cycles + int(round(self.pipeline_latency / SISO_TO_NOC_CLOCK_RATIO))
+
+
+class SisoCoreModel:
+    """Timing / structure model of the double-binary SISO."""
+
+    def __init__(
+        self,
+        pipeline_latency: int = SISO_CORE_LATENCY_CYCLES,
+        windows_per_siso: int = 3,
+    ):
+        if pipeline_latency <= 0:
+            raise ModelError(f"pipeline_latency must be positive, got {pipeline_latency}")
+        if windows_per_siso <= 0:
+            raise ModelError(f"windows_per_siso must be positive, got {windows_per_siso}")
+        self.pipeline_latency = int(pipeline_latency)
+        self.windows_per_siso = int(windows_per_siso)
+
+    @property
+    def noc_injection_rate(self) -> float:
+        """Messages injected into the NoC per NoC clock cycle (R = 1/3)."""
+        return (
+            SISO_OUTPUTS_PER_GROUP / SISO_CYCLES_PER_GROUP
+        ) * SISO_TO_NOC_CLOCK_RATIO
+
+    def half_iteration_timing(self, window_couples: int) -> SisoCoreTiming:
+        """Timing of one half-iteration for a SISO owning ``window_couples`` couples."""
+        if window_couples <= 0:
+            raise ModelError(f"window_couples must be positive, got {window_couples}")
+        groups = -(-window_couples // SISO_OUTPUTS_PER_GROUP)  # ceil division
+        siso_cycles = groups * SISO_CYCLES_PER_GROUP
+        noc_cycles = int(round(siso_cycles / SISO_TO_NOC_CLOCK_RATIO))
+        # Per couple: read systematic + parity + a-priori, write extrinsic + state metrics.
+        memory_reads = 3 * window_couples
+        memory_writes = 2 * window_couples
+        return SisoCoreTiming(
+            window_couples=window_couples,
+            siso_cycles=siso_cycles,
+            noc_cycles=noc_cycles,
+            pipeline_latency=self.pipeline_latency,
+            memory_reads=memory_reads,
+            memory_writes=memory_writes,
+        )
+
+    def memory_accesses_per_half_iteration(self, window_couples: int) -> int:
+        """Shared-memory word accesses of one half-iteration (reads + writes)."""
+        timing = self.half_iteration_timing(window_couples)
+        return timing.memory_reads + timing.memory_writes
+
+    @staticmethod
+    def structure() -> dict[str, str]:
+        """Block-level structure of Fig. 3, used by the architecture-tour example."""
+        return {
+            "BTS CU": "Bit-To-Symbol conversion of incoming a-priori LLRs",
+            "BMU": "Branch Metric Unit: gamma_k[e] from channel and a-priori values",
+            "alpha/beta/b(e) unit": "sequential forward/backward recursions; beta stored in registers",
+            "beta registers": "hold the backward metrics of the current window",
+            "ECU": "Extrinsic Computation Unit: a-posteriori and extrinsic LLR output",
+            "STB CU": "Symbol-To-Bit conversion of outgoing extrinsic values for the NoC",
+        }

@@ -1,0 +1,99 @@
+"""Bit-level helper functions.
+
+These helpers operate either on Python integers or on NumPy arrays of 0/1
+values (dtype ``int8``/``int64``), which is the representation used throughout
+the encoder and decoder substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DecodingError
+
+
+def int_to_bits(value: int, width: int, msb_first: bool = True) -> np.ndarray:
+    """Convert a non-negative integer to an array of ``width`` bits.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer to convert.
+    width:
+        Number of bits in the result.  ``value`` must fit in ``width`` bits.
+    msb_first:
+        When true (default) the most significant bit is placed first.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(width,)`` and dtype ``int8`` containing 0/1 values.
+    """
+    if value < 0:
+        raise DecodingError(f"int_to_bits expects a non-negative value, got {value}")
+    if width <= 0:
+        raise DecodingError(f"int_to_bits expects a positive width, got {width}")
+    if value >= (1 << width):
+        raise DecodingError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.int8)
+    if msb_first:
+        bits = bits[::-1]
+    return bits
+
+
+def bits_to_int(bits: Sequence[int] | np.ndarray, msb_first: bool = True) -> int:
+    """Convert a sequence of 0/1 values to the corresponding integer."""
+    arr = np.asarray(bits, dtype=np.int64)
+    if arr.ndim != 1:
+        raise DecodingError("bits_to_int expects a one-dimensional bit sequence")
+    if arr.size and (arr.min() < 0 or arr.max() > 1):
+        raise DecodingError("bits_to_int expects only 0/1 values")
+    if not msb_first:
+        arr = arr[::-1]
+    value = 0
+    for bit in arr.tolist():
+        value = (value << 1) | int(bit)
+    return value
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand a byte string into a bit array, MSB of each byte first."""
+    if not data:
+        return np.zeros(0, dtype=np.int8)
+    as_ints = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(as_ints).astype(np.int8)
+
+
+def bits_to_bytes(bits: Sequence[int] | np.ndarray) -> bytes:
+    """Pack a bit array (length multiple of 8) into bytes, MSB first."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 8 != 0:
+        raise DecodingError("bits_to_bytes requires a bit count that is a multiple of 8")
+    return np.packbits(arr).tobytes()
+
+
+def hamming_weight(bits: Sequence[int] | np.ndarray) -> int:
+    """Number of ones in a bit sequence."""
+    arr = np.asarray(bits, dtype=np.int64)
+    return int(arr.sum())
+
+
+def hamming_distance(a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray) -> int:
+    """Number of positions in which two equal-length bit sequences differ."""
+    arr_a = np.asarray(a, dtype=np.int64)
+    arr_b = np.asarray(b, dtype=np.int64)
+    if arr_a.shape != arr_b.shape:
+        raise DecodingError(
+            f"hamming_distance requires equal shapes, got {arr_a.shape} and {arr_b.shape}"
+        )
+    return int(np.count_nonzero(arr_a != arr_b))
+
+
+def parity(bits: Iterable[int]) -> int:
+    """Even parity (XOR reduction) of a bit sequence."""
+    acc = 0
+    for bit in bits:
+        acc ^= int(bit) & 1
+    return acc

@@ -1,0 +1,32 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component of the library (AWGN channel, random information
+bits, tie-breaking in the partitioner, SCM random output-port selection)
+receives an explicit :class:`numpy.random.Generator`.  These helpers create
+such generators from integer seeds so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an integer seed.
+
+    ``None`` yields an OS-entropy-seeded generator (only useful interactively;
+    library code and benchmarks always pass an explicit seed).
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
+    independence between children regardless of how many draws each makes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (expanded WiMAX codes, mappings, routing tables) are built
+once per session; tests use the smallest code sizes that still exercise the
+behaviour under test so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import AWGNChannel, BPSKModulator, ebn0_to_noise_sigma
+from repro.core import DecoderSpec, NocDecoderArchitecture
+from repro.ldpc import wimax_ldpc_code
+from repro.noc import NocConfiguration, build_topology, build_routing_tables
+from repro.turbo import TurboEncoder
+
+
+@pytest.fixture(scope="session")
+def small_ldpc_code():
+    """Smallest WiMAX rate-1/2 code (n=576, z=24)."""
+    return wimax_ldpc_code(576, "1/2")
+
+
+@pytest.fixture(scope="session")
+def small_high_rate_code():
+    """Smallest WiMAX rate-5/6 code (n=576)."""
+    return wimax_ldpc_code(576, "5/6")
+
+
+@pytest.fixture(scope="session")
+def worst_case_ldpc_code():
+    """The paper's worst-case code (n=2304, rate 1/2)."""
+    return wimax_ldpc_code(2304, "1/2")
+
+
+@pytest.fixture(scope="session")
+def small_turbo_encoder():
+    """Small WiMAX CTC encoder (48 couples, rate 1/2)."""
+    return TurboEncoder(n_couples=48, rate="1/2")
+
+
+@pytest.fixture(scope="session")
+def small_kautz_topology():
+    """Degree-3 generalized Kautz topology with 8 nodes."""
+    return build_topology("generalized-kautz", 8, 3)
+
+
+@pytest.fixture(scope="session")
+def small_kautz_routing(small_kautz_topology):
+    """Routing tables for the small Kautz topology."""
+    return build_routing_tables(small_kautz_topology)
+
+
+@pytest.fixture()
+def default_noc_config():
+    """Default NoC configuration (SSP-FL on PP, R=0.5, RL=0, SCM)."""
+    return NocConfiguration()
+
+
+@pytest.fixture(scope="session")
+def small_decoder_architecture():
+    """A small decoder instance (P=8 Kautz D=3) for system-level tests."""
+    return NocDecoderArchitecture(DecoderSpec(parallelism=8, degree=3, mapping_attempts=2))
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+def make_ldpc_llrs(code, ebn0_db: float, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a random frame and return (codeword, channel LLRs) at the given Eb/N0."""
+    info = rng.integers(0, 2, code.k)
+    codeword = code.encode(info)
+    modulator = BPSKModulator()
+    sigma = ebn0_to_noise_sigma(ebn0_db, code.rate)
+    channel = AWGNChannel(sigma, rng)
+    received = channel.transmit(modulator.modulate(codeword))
+    llrs = modulator.demodulate_llr(received, channel.llr_noise_variance(False))
+    return codeword, llrs

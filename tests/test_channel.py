@@ -1,0 +1,196 @@
+"""Unit tests for :mod:`repro.channel`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    AWGNChannel,
+    BPSKModulator,
+    ErrorRateAccumulator,
+    LLRQuantizer,
+    QPSKModulator,
+    QuantizationSpec,
+    ebn0_to_noise_sigma,
+    snr_db_to_linear,
+)
+from repro.channel.quantize import CHANNEL_LLR_SPEC, EXTRINSIC_SPEC
+from repro.errors import ConfigurationError, DecodingError
+
+
+class TestBPSK:
+    def test_mapping(self):
+        symbols = BPSKModulator().modulate(np.array([0, 1, 0, 1]))
+        assert symbols.tolist() == [1.0, -1.0, 1.0, -1.0]
+
+    def test_llr_sign_matches_bits(self):
+        mod = BPSKModulator()
+        bits = np.array([0, 1, 1, 0])
+        llrs = mod.demodulate_llr(mod.modulate(bits), noise_variance=0.5)
+        decisions = (llrs < 0).astype(int)
+        assert decisions.tolist() == bits.tolist()
+
+    def test_llr_scale(self):
+        mod = BPSKModulator()
+        llr = mod.demodulate_llr(np.array([0.7]), noise_variance=0.5)
+        assert llr[0] == pytest.approx(2 * 0.7 / 0.5)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(DecodingError):
+            BPSKModulator().modulate(np.array([0, 2]))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(DecodingError):
+            BPSKModulator().modulate(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_bad_noise_variance(self):
+        with pytest.raises(ConfigurationError):
+            BPSKModulator().demodulate_llr(np.array([1.0]), noise_variance=0.0)
+
+
+class TestQPSK:
+    def test_unit_energy(self):
+        mod = QPSKModulator()
+        symbols = mod.modulate(np.array([0, 0, 0, 1, 1, 0, 1, 1]))
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_gray_mapping_independent_axes(self):
+        mod = QPSKModulator()
+        symbols = mod.modulate(np.array([0, 1]))
+        assert symbols[0].real > 0 and symbols[0].imag < 0
+
+    def test_llr_recovers_bits_noiseless(self):
+        mod = QPSKModulator()
+        bits = np.array([0, 1, 1, 0, 1, 1, 0, 0])
+        llrs = mod.demodulate_llr(mod.modulate(bits), noise_variance=1.0)
+        assert ((llrs < 0).astype(int) == bits).all()
+
+    def test_rejects_odd_bit_count(self):
+        with pytest.raises(DecodingError):
+            QPSKModulator().modulate(np.array([0, 1, 0]))
+
+
+class TestAWGN:
+    def test_noise_statistics(self):
+        channel = AWGNChannel(0.5, np.random.default_rng(0))
+        clean = np.zeros(200_000)
+        noisy = channel.transmit(clean)
+        assert np.std(noisy) == pytest.approx(0.5, rel=0.02)
+        assert np.mean(noisy) == pytest.approx(0.0, abs=0.01)
+
+    def test_complex_noise_both_dimensions(self):
+        channel = AWGNChannel(0.3, np.random.default_rng(1))
+        noisy = channel.transmit(np.zeros(100_000, dtype=complex))
+        assert np.std(noisy.real) == pytest.approx(0.3, rel=0.05)
+        assert np.std(noisy.imag) == pytest.approx(0.3, rel=0.05)
+
+    def test_llr_noise_variance_convention(self):
+        channel = AWGNChannel(0.5)
+        assert channel.llr_noise_variance(False) == pytest.approx(0.25)
+        assert channel.llr_noise_variance(True) == pytest.approx(0.5)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            AWGNChannel(0.0)
+
+    def test_snr_db_to_linear(self):
+        assert snr_db_to_linear(0.0) == pytest.approx(1.0)
+        assert snr_db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_ebn0_to_noise_sigma_decreases_with_snr(self):
+        low = ebn0_to_noise_sigma(0.0, 0.5)
+        high = ebn0_to_noise_sigma(4.0, 0.5)
+        assert high < low
+
+    def test_ebn0_accounts_for_rate(self):
+        half = ebn0_to_noise_sigma(2.0, 0.5)
+        five_sixth = ebn0_to_noise_sigma(2.0, 5.0 / 6.0)
+        assert five_sixth < half
+
+    def test_ebn0_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            ebn0_to_noise_sigma(2.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            ebn0_to_noise_sigma(2.0, 1.5)
+
+
+class TestQuantizer:
+    def test_paper_formats(self):
+        assert CHANNEL_LLR_SPEC.total_bits == 7
+        assert EXTRINSIC_SPEC.total_bits == 5
+
+    def test_spec_range(self):
+        spec = QuantizationSpec(total_bits=5, frac_bits=0)
+        assert spec.max_level == 15
+        assert spec.min_level == -16
+        assert spec.step == 1.0
+
+    def test_spec_fractional_step(self):
+        spec = QuantizationSpec(total_bits=7, frac_bits=1)
+        assert spec.step == 0.5
+        assert spec.max_value == pytest.approx(31.5)
+
+    def test_spec_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec(total_bits=1)
+        with pytest.raises(ConfigurationError):
+            QuantizationSpec(total_bits=4, frac_bits=4)
+
+    def test_quantize_saturates(self):
+        quant = LLRQuantizer(QuantizationSpec(5, 0))
+        levels = quant.quantize(np.array([100.0, -100.0]))
+        assert levels.tolist() == [15, -16]
+
+    def test_quantize_rounds(self):
+        quant = LLRQuantizer(QuantizationSpec(5, 0))
+        assert quant.quantize(np.array([2.4, 2.6])).tolist() == [2, 3]
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        quant = LLRQuantizer(QuantizationSpec(7, 1))
+        values = np.linspace(-20, 20, 101)
+        recovered = quant.quantize_to_real(values)
+        assert np.max(np.abs(values - recovered)) <= quant.spec.step / 2 + 1e-12
+
+    def test_saturating_add(self):
+        quant = LLRQuantizer(QuantizationSpec(5, 0))
+        out = quant.saturating_add(np.array([10]), np.array([10]))
+        assert out.tolist() == [15]
+
+    def test_quantizer_requires_spec(self):
+        with pytest.raises(ConfigurationError):
+            LLRQuantizer("7bits")  # type: ignore[arg-type]
+
+
+class TestErrorRate:
+    def test_counts_bit_and_frame_errors(self):
+        acc = ErrorRateAccumulator()
+        acc.update(np.array([0, 0, 0, 0]), np.array([0, 1, 0, 1]))
+        acc.update(np.array([1, 1, 1, 1]), np.array([1, 1, 1, 1]))
+        report = acc.report()
+        assert report.frames == 2
+        assert report.bit_errors == 2
+        assert report.frame_errors == 1
+        assert report.ber == pytest.approx(0.25)
+        assert report.fer == pytest.approx(0.5)
+
+    def test_update_returns_frame_errors(self):
+        acc = ErrorRateAccumulator()
+        assert acc.update(np.array([0, 1]), np.array([1, 1])) == 1
+
+    def test_reset(self):
+        acc = ErrorRateAccumulator()
+        acc.update(np.array([0]), np.array([1]))
+        acc.reset()
+        report = acc.report()
+        assert report.frames == 0 and report.ber == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        acc = ErrorRateAccumulator()
+        with pytest.raises(DecodingError):
+            acc.update(np.array([0, 1]), np.array([0]))
+
+    def test_report_str_contains_rates(self):
+        acc = ErrorRateAccumulator()
+        acc.update(np.array([0, 1]), np.array([0, 1]))
+        assert "BER" in str(acc.report())

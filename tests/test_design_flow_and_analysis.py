@@ -1,0 +1,170 @@
+"""Tests for the design-space explorer and the analysis/reporting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    build_table1,
+    build_table2,
+    build_table3,
+    check_table1_trends,
+)
+from repro.analysis.reference import PAPER_CORE_BREAKDOWN
+from repro.core import DecoderSpec, DesignSpaceExplorer, NocDecoderArchitecture
+from repro.errors import ConfigurationError
+from repro.ldpc import wimax_ldpc_code
+from repro.noc import RoutingAlgorithm
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A small but structurally complete sweep on the n=576 code."""
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1), seed=0)
+    code = wimax_ldpc_code(576, "1/2")
+    return explorer.sweep_ldpc(
+        code,
+        topologies=[("generalized-kautz", 2), ("generalized-kautz", 3), ("spidergon", 3)],
+        parallelisms=[8, 12],
+        routing_algorithms=[RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL],
+    )
+
+
+class TestDesignSpaceExplorer:
+    def test_sweep_covers_all_valid_points(self, small_sweep):
+        assert len(small_sweep) == 3 * 2 * 2
+
+    def test_every_point_has_positive_metrics(self, small_sweep):
+        for point in small_sweep:
+            assert point.throughput_mbps > 0
+            assert point.noc_area_mm2 > 0
+            assert point.ncycles > 0
+            assert point.cell().count("/") == 1
+
+    def test_throughput_improves_with_parallelism(self, small_sweep):
+        kautz3 = {
+            p.parallelism: p.throughput_mbps
+            for p in small_sweep
+            if p.topology_family == "generalized-kautz"
+            and p.degree == 3
+            and p.routing_algorithm is RoutingAlgorithm.SSP_FL
+        }
+        assert kautz3[12] >= kautz3[8] * 0.9
+
+    def test_degree_three_beats_degree_two(self, small_sweep):
+        def mean(degree):
+            values = [
+                p.throughput_mbps
+                for p in small_sweep
+                if p.topology_family == "generalized-kautz" and p.degree == degree
+            ]
+            return sum(values) / len(values)
+
+        assert mean(3) >= mean(2)
+
+    def test_invalid_points_skipped(self):
+        explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1))
+        code = wimax_ldpc_code(576, "1/2")
+        # 13 nodes cannot form a 2D grid at all, so the toroidal-mesh point is
+        # skipped and the sweep still returns the Kautz points.
+        points = explorer.sweep_ldpc(
+            code,
+            topologies=[("toroidal-mesh", 4), ("generalized-kautz", 3)],
+            parallelisms=[13],
+            routing_algorithms=[RoutingAlgorithm.SSP_FL],
+        )
+        assert {p.topology_family for p in points} == {"generalized-kautz"}
+
+    def test_invalid_points_raise_when_requested(self):
+        explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1))
+        code = wimax_ldpc_code(576, "1/2")
+        with pytest.raises(Exception):
+            explorer.sweep_ldpc(
+                code,
+                topologies=[("toroidal-mesh", 4)],
+                parallelisms=[13],
+                routing_algorithms=[RoutingAlgorithm.SSP_FL],
+                skip_invalid=False,
+            )
+
+    def test_turbo_point_evaluation(self):
+        explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1))
+        point = explorer.evaluate_turbo_point(
+            240, "generalized-kautz", 3, 8, RoutingAlgorithm.SSP_FL
+        )
+        assert point.mode == "turbo"
+        assert point.throughput_mbps > 0
+
+    def test_best_point_selection(self, small_sweep):
+        explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1))
+        best = explorer.best_point(small_sweep)
+        ratios = [p.throughput_mbps / p.noc_area_mm2 for p in small_sweep]
+        assert best.throughput_mbps / best.noc_area_mm2 == pytest.approx(max(ratios))
+
+    def test_best_point_with_floor(self, small_sweep):
+        explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1))
+        floor = sorted(p.throughput_mbps for p in small_sweep)[len(small_sweep) // 2]
+        best = explorer.best_point(small_sweep, throughput_floor_mbps=floor)
+        assert best.throughput_mbps >= floor
+
+    def test_best_point_requires_points(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpaceExplorer().best_point([])
+
+
+class TestPaperReferenceData:
+    def test_table1_has_full_grid(self):
+        # 6 (topology, degree) groups x 4 parallelisms x 3 routing algorithms.
+        assert len(PAPER_TABLE1) == 6 * 4 * 3
+
+    def test_table1_contains_best_point(self):
+        best = max(PAPER_TABLE1, key=lambda c: c.throughput_mbps)
+        assert best.throughput_mbps == pytest.approx(109.37)
+
+    def test_table2_design_point_above_requirement(self):
+        for (_, _), (throughput, _) in PAPER_TABLE2.items():
+            assert throughput > 70
+
+    def test_table3_this_work_row(self):
+        this_work = PAPER_TABLE3[0]
+        assert this_work.total_area_mm2 == pytest.approx(3.17)
+        assert this_work.ldpc_throughput_mbps == pytest.approx(72.0)
+        assert this_work.turbo_throughput_mbps == pytest.approx(74.26)
+
+    def test_core_breakdown_shares_sum_to_one(self):
+        total = (
+            PAPER_CORE_BREAKDOWN["memories_share"]
+            + PAPER_CORE_BREAKDOWN["siso_logic_share"]
+            + PAPER_CORE_BREAKDOWN["ldpc_logic_share"]
+        )
+        assert total == pytest.approx(1.0, abs=0.01)
+
+
+class TestTableBuilders:
+    def test_build_table1_renders_measured_and_paper_cells(self, small_sweep):
+        table = build_table1(small_sweep)
+        rendered = table.render()
+        assert "Table I" in rendered
+        assert "P=8" in rendered and "P=12" in rendered
+        assert "generalized-kautz (D=3)" in rendered
+
+    def test_check_table1_trends_returns_checks(self, small_sweep):
+        checks = check_table1_trends(small_sweep)
+        assert checks, "expected at least one trend check"
+        for check in checks:
+            assert check.detail
+
+    def test_build_table2_and_table3(self):
+        arch = NocDecoderArchitecture(DecoderSpec(parallelism=8, degree=3, mapping_attempts=1))
+        ldpc_eval = arch.evaluate_ldpc(wimax_ldpc_code(576, "1/2"))
+        turbo_eval = arch.evaluate_turbo(240)
+        table2 = build_table2({"SSP-FL": turbo_eval}, {"SSP-FL": ldpc_eval})
+        assert "Table II" in table2.render()
+        assert "SSP-RR" in table2.render()
+        table3 = build_table3(ldpc_eval, turbo_eval)
+        rendered = table3.render()
+        assert "This work (reproduction model)" in rendered
+        assert "FlexiChaP" in rendered

@@ -1,0 +1,244 @@
+"""Unit tests for the mapping substrate (partitioner, LDPC/turbo mappings, quality)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError, ReproError
+from repro.ldpc import TannerGraph
+from repro.mapping import (
+    evaluate_traffic_quality,
+    map_ldpc_code,
+    map_turbo_code,
+    partition_graph,
+)
+from repro.mapping.ldpc_mapping import build_equivalent_interleaver
+from repro.mapping.quality import select_best_mapping
+from repro.mapping.turbo_mapping import contiguous_partition
+
+
+def _grid_graph(rows: int, cols: int) -> tuple[int, dict[tuple[int, int], int]]:
+    """Unweighted 2D grid graph, a friendly case for partitioning."""
+    edges: dict[tuple[int, int], int] = {}
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges[(node, node + 1)] = 1
+            if r + 1 < rows:
+                edges[(node, node + cols)] = 1
+    return rows * cols, edges
+
+
+class TestPartitioner:
+    def test_partition_covers_all_vertices(self):
+        n, edges = _grid_graph(8, 8)
+        result = partition_graph(n, edges, n_parts=4, seed=0)
+        assert result.assignment.shape == (n,)
+        assert set(np.unique(result.assignment)) == {0, 1, 2, 3}
+
+    def test_partition_is_balanced(self):
+        n, edges = _grid_graph(8, 8)
+        result = partition_graph(n, edges, n_parts=4, seed=0)
+        assert result.part_sizes.sum() == n
+        assert result.imbalance <= 1.15
+
+    def test_partition_beats_random_cut_on_grid(self):
+        n, edges = _grid_graph(10, 10)
+        result = partition_graph(n, edges, n_parts=4, seed=0)
+        total_weight = sum(edges.values())
+        # A random 4-way split keeps only ~25% of edges internal; the grid is
+        # easily partitioned far better than that.
+        assert result.cut_weight < 0.5 * total_weight
+
+    def test_cut_weight_matches_assignment(self):
+        n, edges = _grid_graph(6, 6)
+        result = partition_graph(n, edges, n_parts=3, seed=1)
+        recomputed = sum(
+            w for (a, b), w in edges.items() if result.assignment[a] != result.assignment[b]
+        )
+        assert recomputed == result.cut_weight
+
+    def test_vertex_weights_balance_load(self):
+        n, edges = _grid_graph(6, 6)
+        weights = np.ones(n)
+        weights[:6] = 10.0  # one heavy row
+        result = partition_graph(n, edges, n_parts=3, seed=0, vertex_weights=weights)
+        loads = np.zeros(3)
+        for vertex in range(n):
+            loads[result.assignment[vertex]] += weights[vertex]
+        assert loads.max() <= 1.3 * loads.mean()
+
+    def test_deterministic_for_fixed_seed(self):
+        n, edges = _grid_graph(6, 6)
+        first = partition_graph(n, edges, n_parts=3, seed=5)
+        second = partition_graph(n, edges, n_parts=3, seed=5)
+        assert np.array_equal(first.assignment, second.assignment)
+
+    def test_single_part(self):
+        n, edges = _grid_graph(4, 4)
+        result = partition_graph(n, edges, n_parts=1, seed=0)
+        assert result.cut_weight == 0
+        assert np.all(result.assignment == 0)
+
+    def test_invalid_arguments(self):
+        n, edges = _grid_graph(4, 4)
+        with pytest.raises(MappingError):
+            partition_graph(n, edges, n_parts=0)
+        with pytest.raises(MappingError):
+            partition_graph(2, {}, n_parts=4)
+        with pytest.raises(MappingError):
+            partition_graph(n, edges, n_parts=2, attempts=0)
+        with pytest.raises(MappingError):
+            partition_graph(n, edges, n_parts=2, vertex_weights=np.zeros(n))
+        with pytest.raises(MappingError):
+            partition_graph(n, edges, n_parts=2, vertex_weights=np.ones(n + 1))
+        with pytest.raises(MappingError):
+            partition_graph(3, {(0, 7): 1}, n_parts=2)
+
+
+class TestLdpcMapping:
+    def test_mapping_message_count_equals_edges(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        assert mapping.traffic.total_messages == small_ldpc_code.h.n_edges
+
+    def test_every_check_is_assigned(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        assert mapping.check_owner.shape == (small_ldpc_code.m,)
+        assert mapping.checks_per_node.sum() == small_ldpc_code.m
+
+    def test_locality_beats_random_assignment(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        # A random 8-way assignment keeps only ~1/8 = 12.5% of messages local.
+        assert mapping.locality > 1.0 / 8
+
+    def test_messages_per_node_balanced(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        counts = mapping.traffic.messages_per_node()
+        assert counts.max() <= 1.2 * counts.mean()
+
+    def test_each_variable_update_has_one_consumer(self, small_ldpc_code):
+        """Per variable of degree d there are exactly d messages (cyclic successor)."""
+        h = small_ldpc_code.h
+        mapping = map_ldpc_code(h, n_nodes=4, seed=0, attempts=1)
+        received = mapping.traffic.destination_histogram()
+        # Every edge produces exactly one received message somewhere.
+        assert received.sum() == h.n_edges
+
+    def test_memory_locations_unique_per_destination(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=4, seed=0, attempts=1)
+        slots: dict[int, list[int]] = {node: [] for node in range(4)}
+        for node_traffic in mapping.traffic.per_node:
+            for dest, slot in zip(node_traffic.destinations, node_traffic.memory_locations):
+                slots[dest].append(slot)
+        for node, used in slots.items():
+            assert len(used) == len(set(used)), f"duplicate memory slot on node {node}"
+
+    def test_equivalent_interleaver_respects_owner(self, small_ldpc_code):
+        h = small_ldpc_code.h
+        owner = np.arange(h.n_rows) % 4
+        traffic = build_equivalent_interleaver(h, owner, 4)
+        # Check 0 is owned by PE 0, so PE 0 must emit exactly deg(check 0) +
+        # deg(check 4) + ... messages.
+        expected = sum(h.row(check).size for check in range(h.n_rows) if owner[check] == 0)
+        assert traffic.per_node[0].n_messages == expected
+
+    def test_invalid_owner_rejected(self, small_ldpc_code):
+        h = small_ldpc_code.h
+        with pytest.raises(MappingError):
+            build_equivalent_interleaver(h, np.zeros(h.n_rows + 1, dtype=int), 4)
+        with pytest.raises(MappingError):
+            build_equivalent_interleaver(h, np.full(h.n_rows, 9), 4)
+
+    def test_more_nodes_than_checks_rejected(self, small_ldpc_code):
+        with pytest.raises(MappingError):
+            map_ldpc_code(small_ldpc_code.h, n_nodes=small_ldpc_code.m + 1)
+
+    def test_describe_contains_key_figures(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=1)
+        text = mapping.describe()
+        assert "P=8" in text and "locality" in text
+
+
+class TestTurboMapping:
+    def test_contiguous_partition_sizes(self):
+        owner = contiguous_partition(100, 8)
+        sizes = np.bincount(owner, minlength=8)
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_contiguous_partition_is_monotone(self):
+        owner = contiguous_partition(48, 5)
+        assert np.all(np.diff(owner) >= 0)
+
+    def test_turbo_mapping_message_counts(self):
+        mapping = map_turbo_code(48, 8)
+        assert mapping.traffic_forward.total_messages == 48
+        assert mapping.traffic_backward.total_messages == 48
+
+    def test_forward_and_backward_are_inverse_flows(self):
+        mapping = map_turbo_code(48, 8)
+        forward = mapping.traffic_forward.destination_histogram()
+        backward_sent = mapping.traffic_backward.messages_per_node()
+        # Messages received in the forward phase are produced in the backward phase.
+        assert np.array_equal(forward, backward_sent)
+
+    def test_window_size(self):
+        mapping = map_turbo_code(2400, 22)
+        assert mapping.window_size == int(np.ceil(2400 / 22))
+
+    def test_locality_is_low_for_good_interleaver(self):
+        mapping = map_turbo_code(240, 8)
+        # The CTC permutation spreads couples across the frame, so locality
+        # should be close to the random 1/P baseline.
+        assert mapping.locality < 0.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MappingError):
+            contiguous_partition(4, 0)
+        with pytest.raises(MappingError):
+            contiguous_partition(4, 8)
+        with pytest.raises(ReproError):
+            map_turbo_code(1000, 8)  # no interleaver parameters for N=1000
+
+    def test_describe(self):
+        assert "N=48" in map_turbo_code(48, 4).describe()
+
+
+class TestMappingQuality:
+    def test_quality_metrics(self, small_ldpc_code):
+        mapping = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=1)
+        quality = evaluate_traffic_quality(mapping.traffic)
+        assert quality.max_node_messages >= quality.mean_node_messages
+        assert 0.0 <= quality.locality <= 1.0
+        assert quality.score > 0
+
+    def test_select_best_prefers_shorter_lists(self, small_ldpc_code):
+        good = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        # A deliberately bad mapping: an unbalanced random assignment.
+        rng = np.random.default_rng(0)
+        bad_owner = rng.integers(0, 8, small_ldpc_code.m)
+        bad_owner[: small_ldpc_code.m // 4] = 0  # overload PE 0
+        bad_traffic = build_equivalent_interleaver(small_ldpc_code.h, bad_owner, 8)
+        qualities = [
+            evaluate_traffic_quality(bad_traffic),
+            evaluate_traffic_quality(good.traffic),
+        ]
+        assert select_best_mapping(qualities) == 1
+
+    def test_selected_mapping_beats_random_assignment(self, small_ldpc_code):
+        graph = TannerGraph(small_ldpc_code.h)
+        assert graph.n_check_nodes == small_ldpc_code.m
+        good = map_ldpc_code(small_ldpc_code.h, n_nodes=8, seed=0, attempts=2)
+        rng = np.random.default_rng(1)
+        random_owner = rng.integers(0, 8, small_ldpc_code.m)
+        random_traffic = build_equivalent_interleaver(small_ldpc_code.h, random_owner, 8)
+        good_quality = evaluate_traffic_quality(good.traffic)
+        random_quality = evaluate_traffic_quality(random_traffic)
+        assert good_quality.score <= random_quality.score
+        assert good_quality.locality >= random_quality.locality
+
+    def test_select_best_requires_candidates(self):
+        with pytest.raises(ValueError):
+            select_best_mapping([])
