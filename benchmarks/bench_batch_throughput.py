@@ -1,0 +1,133 @@
+"""Benchmark: batched BER engine vs the seed per-frame decoders.
+
+The ROADMAP asks for hot-path speedups; this bench quantifies the one the
+batch engine delivers.  The *baseline* is a faithful re-implementation of the
+seed repository's per-frame message passing (Python loop over per-row message
+lists, one frame at a time) for both schedules; the *contender* is the
+``(batch, n)`` engine of :mod:`repro.sim` at batch 64.  The acceptance target
+is >= 10x frames/sec on the flooding schedule; in practice the margin is much
+larger.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_batch_throughput.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel import AWGNChannel, BPSKModulator, ebn0_to_noise_sigma
+from repro.ldpc import wimax_ldpc_code
+from repro.ldpc.checknode import hard_decision, min_sum_check_update
+from repro.sim import BatchFloodingDecoder, BatchLayeredDecoder
+
+BATCH = 64
+MAX_ITERATIONS = 10
+EBN0_DB = 2.0
+#: Frames timed on the (slow) seed baseline; frames/sec extrapolates.
+BASELINE_FRAMES = 8
+
+
+def _make_llr_batch(code, batch: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    modulator = BPSKModulator()
+    channel = AWGNChannel(ebn0_to_noise_sigma(EBN0_DB, code.rate), rng)
+    info = rng.integers(0, 2, (batch, code.k))
+    codewords = code.encode_batch(info)
+    received = channel.transmit(modulator.modulate(codewords))
+    return modulator.demodulate_llr(received, channel.llr_noise_variance(False))
+
+
+# --------------------------------------------------------------------------- #
+# Seed-repository per-frame algorithms (list-of-arrays message passing).
+# --------------------------------------------------------------------------- #
+def _seed_flooding_decode(h, rows, llrs_in: np.ndarray) -> np.ndarray:
+    """The seed FloodingDecoder.decode loop (min-sum kernel, no early exit)."""
+    n_rows = h.n_rows
+    c2v = [np.zeros(row.size, dtype=np.float64) for row in rows]
+    posterior = llrs_in.copy()
+    for _ in range(MAX_ITERATIONS):
+        v2c = [posterior[rows[r]] - c2v[r] for r in range(n_rows)]
+        c2v = [min_sum_check_update(v2c[r], scaling=0.75) for r in range(n_rows)]
+        posterior = llrs_in.copy()
+        for r in range(n_rows):
+            posterior[rows[r]] += c2v[r]
+    return hard_decision(posterior)
+
+
+def _seed_layered_decode(h, rows, llrs_in: np.ndarray) -> np.ndarray:
+    """The seed LayeredMinSumDecoder.decode loop (float, no early exit)."""
+    lam = llrs_in.copy()
+    r_messages = [np.zeros(row.size, dtype=np.float64) for row in rows]
+    for _ in range(MAX_ITERATIONS):
+        for check_idx, cols in enumerate(rows):
+            q_values = lam[cols] - r_messages[check_idx]
+            r_new = min_sum_check_update(q_values, scaling=0.75)
+            lam[cols] = q_values + r_new
+            r_messages[check_idx] = r_new
+    return hard_decision(lam)
+
+
+def _frames_per_second(fn, frames: int, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return frames / best
+
+
+def _compare(code, seed_decode, batch_decoder, llrs, bench_print, label):
+    rows = [code.h.row(r) for r in range(code.h.n_rows)]
+
+    def run_seed():
+        for frame in range(BASELINE_FRAMES):
+            seed_decode(code.h, rows, llrs[frame])
+
+    def run_batch():
+        batch_decoder.decode_batch(llrs)
+
+    run_seed()  # warm-up
+    run_batch()
+    seed_fps = _frames_per_second(run_seed, BASELINE_FRAMES)
+    batch_fps = _frames_per_second(run_batch, BATCH)
+    speedup = batch_fps / seed_fps
+    bench_print(
+        f"{label}: seed per-frame {seed_fps:8.1f} frames/s | "
+        f"batch {BATCH} {batch_fps:8.1f} frames/s | speedup {speedup:6.1f}x"
+    )
+    return speedup, run_batch
+
+
+@pytest.mark.benchmark(group="batch-throughput")
+def test_batch_flooding_throughput_speedup(benchmark, bench_print):
+    """Flooding min-sum: the batch engine must beat the seed path >= 10x."""
+    code = wimax_ldpc_code(576, "1/2")
+    llrs = _make_llr_batch(code, BATCH)
+    decoder = BatchFloodingDecoder(
+        code.h, max_iterations=MAX_ITERATIONS, kernel="min-sum", early_termination=False
+    )
+    speedup, run_batch = _compare(
+        code, _seed_flooding_decode, decoder, llrs, bench_print,
+        f"flooding  (n={code.n}, {MAX_ITERATIONS} it)",
+    )
+    benchmark(run_batch)
+    assert speedup >= 10.0
+
+
+@pytest.mark.benchmark(group="batch-throughput")
+def test_batch_layered_throughput_speedup(benchmark, bench_print):
+    """Layered min-sum: batch-axis amortisation must beat the seed path >= 10x."""
+    code = wimax_ldpc_code(576, "1/2")
+    llrs = _make_llr_batch(code, BATCH)
+    decoder = BatchLayeredDecoder(
+        code.h, max_iterations=MAX_ITERATIONS, early_termination=False
+    )
+    speedup, run_batch = _compare(
+        code, _seed_layered_decode, decoder, llrs, bench_print,
+        f"layered   (n={code.n}, {MAX_ITERATIONS} it)",
+    )
+    benchmark(run_batch)
+    assert speedup >= 10.0

@@ -4,6 +4,12 @@ The WiMAX design case: P = 22, degree-3 generalized Kautz NoC, R = 0.5.
 Turbo N = 2400 couples at a 75 MHz NoC clock and LDPC n = 2304 rate 1/2 at
 300 MHz, for the three routing algorithms (SSP-RR, SSP-FL on the PP node
 architecture; ASP-FT on the AP architecture).
+
+A functional companion check runs the same decoder algorithm (layered
+normalized min-sum, 10 iterations, the paper's fixed-point formats) through
+the batched :class:`repro.sim.runner.BerRunner` to confirm it actually
+corrects errors at WiMAX operating points — the architectural numbers above
+are only meaningful if the functional core works.
 """
 
 from __future__ import annotations
@@ -11,9 +17,12 @@ from __future__ import annotations
 import pytest
 
 from repro import DecoderSpec, NocDecoderArchitecture, wimax_ldpc_code
-from repro.analysis import PAPER_TABLE2, build_table2
+from repro.analysis import PAPER_TABLE2, build_ber_table, build_table2
 from repro.core.throughput import meets_wimax_requirement
 from repro.noc import RoutingAlgorithm
+from repro.sim import BatchLayeredDecoder, BerRunner
+
+from benchmarks.conftest import full_benchmarks_enabled
 
 ALGORITHMS = [RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT]
 
@@ -79,3 +88,35 @@ def test_table2_ldpc_design_point_cost(benchmark):
 
     result = benchmark(lambda: decoder.evaluate_ldpc(code))
     assert result.simulation.all_delivered
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_functional_ber_of_design_decoder(benchmark, bench_print):
+    """BER of the Table II decoder algorithm via the batched runner.
+
+    Uses the paper's decoding parameters (layered normalized min-sum,
+    sigma = 0.75, 10 iterations, 7-bit channel / 5-bit extrinsic LLRs) on the
+    worst-case n=2304 rate-1/2 code (n=576 in the reduced default grid).
+    """
+    full = full_benchmarks_enabled()
+    code = wimax_ldpc_code(2304 if full else 576, "1/2")
+    runner = BerRunner(
+        code,
+        BatchLayeredDecoder(code.h, max_iterations=10, fixed_point=True),
+        batch_size=64,
+        max_frames=512 if full else 128,
+        target_frame_errors=50,
+        seed=22,
+    )
+    ebn0_points = [1.5, 2.0, 2.5] if full else [1.5, 2.0]
+    points = benchmark.pedantic(lambda: runner.run(ebn0_points), rounds=1, iterations=1)
+    bench_print(
+        build_ber_table(
+            points,
+            title=f"Table II decoder functional BER ({code.describe()})",
+        ).render()
+    )
+    # The waterfall must actually fall: monotone BER improvement with SNR.
+    bers = [point.ber for point in points]
+    assert all(late <= early for early, late in zip(bers, bers[1:]))
+    assert points[-1].ber < 1e-2

@@ -16,6 +16,7 @@ API lives in the sub-packages:
 * :mod:`repro.noc`, :mod:`repro.mapping` — the network and the code-to-NoC mapping,
 * :mod:`repro.pe`, :mod:`repro.hw` — processing-element and hardware cost models,
 * :mod:`repro.channel` — modulation, AWGN and quantisation,
+* :mod:`repro.sim` — batched decoders and the Monte-Carlo BER runner,
 * :mod:`repro.analysis` — paper reference data and table builders.
 """
 
@@ -28,6 +29,12 @@ from repro.core import (
 )
 from repro.ldpc import LayeredMinSumDecoder, WimaxLdpcCode, wimax_ldpc_code
 from repro.noc import NocConfiguration, RoutingAlgorithm
+from repro.sim import (
+    BatchFloodingDecoder,
+    BatchLayeredDecoder,
+    BerPoint,
+    BerRunner,
+)
 from repro.turbo import TurboDecoder, TurboEncoder
 
 __version__ = "1.0.0"
@@ -41,6 +48,10 @@ __all__ = [
     "wimax_ldpc_code",
     "WimaxLdpcCode",
     "LayeredMinSumDecoder",
+    "BatchFloodingDecoder",
+    "BatchLayeredDecoder",
+    "BerRunner",
+    "BerPoint",
     "TurboEncoder",
     "TurboDecoder",
     "NocConfiguration",

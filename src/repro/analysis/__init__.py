@@ -13,6 +13,7 @@ from repro.analysis.reference import (
     Table3Row,
 )
 from repro.analysis.tables import (
+    build_ber_table,
     build_table1,
     build_table2,
     build_table3,
@@ -25,6 +26,7 @@ __all__ = [
     "PAPER_TABLE3",
     "Table1Cell",
     "Table3Row",
+    "build_ber_table",
     "build_table1",
     "build_table2",
     "build_table3",

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
 from repro.analysis.reference import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, Table1Cell
 from repro.core.architecture import LdpcEvaluation, TurboEvaluation
 from repro.core.design_flow import DesignPoint
 from repro.hw.technology import scale_area
+from repro.sim.runner import BerPoint
 from repro.utils.tables import Table, format_ratio_cell
 
 
@@ -56,6 +59,42 @@ def build_table1(points: list[DesignPoint]) -> Table:
                 text += f" (paper {format_ratio_cell(paper.throughput_mbps, paper.noc_area_mm2)})"
             cells.append(text)
         table.add_row(cells)
+    return table
+
+
+def build_ber_table(points: Sequence[BerPoint], title: str = "BER sweep") -> Table:
+    """Render a Monte-Carlo BER sweep with its Wilson confidence intervals.
+
+    One row per :class:`~repro.sim.runner.BerPoint`; intervals follow the
+    point estimates so a reader can judge whether two curves are actually
+    distinguishable at the simulated frame counts.
+    """
+    table = Table(
+        title=title,
+        columns=[
+            "Eb/N0 [dB]",
+            "frames",
+            "BER",
+            "BER 95% CI",
+            "FER",
+            "FER 95% CI",
+            "avg iters",
+        ],
+    )
+    for point in points:
+        ber_lo, ber_hi = point.ber_interval
+        fer_lo, fer_hi = point.fer_interval
+        table.add_row(
+            [
+                f"{point.ebn0_db:.2f}",
+                str(point.frames),
+                f"{point.ber:.3e}",
+                f"[{ber_lo:.1e}, {ber_hi:.1e}]",
+                f"{point.fer:.3e}",
+                f"[{fer_lo:.1e}, {fer_hi:.1e}]",
+                f"{point.avg_iterations:.1f}",
+            ]
+        )
     return table
 
 

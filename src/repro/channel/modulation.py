@@ -4,6 +4,11 @@ Only the constellations needed by the WiMAX evaluation are provided: BPSK
 (the usual choice when characterising FEC codes) and Gray-mapped QPSK.
 Both map bits to unit-energy complex symbols and can demap received symbols
 to exact LLRs for an AWGN channel of known noise variance.
+
+All methods are batched: bits and symbols may be one-dimensional (a single
+frame) or carry any number of leading axes — a ``(batch, n)`` bit array maps
+to a ``(batch, n_symbols)`` symbol array and back to ``(batch, n)`` LLRs —
+which is what :class:`repro.sim.runner.BerRunner` relies on.
 """
 
 from __future__ import annotations
@@ -23,19 +28,27 @@ class Modulator(ABC):
 
     @abstractmethod
     def modulate(self, bits: np.ndarray) -> np.ndarray:
-        """Map an array of 0/1 bits onto complex (or real) channel symbols."""
+        """Map 0/1 bits onto complex (or real) channel symbols.
+
+        The last axis is the bit axis; leading axes (e.g. a batch axis) are
+        preserved.
+        """
 
     @abstractmethod
     def demodulate_llr(self, received: np.ndarray, noise_variance: float) -> np.ndarray:
-        """Compute per-bit LLRs ``log P(b=0|y)/P(b=1|y)`` for AWGN observations."""
+        """Compute per-bit LLRs ``log P(b=0|y)/P(b=1|y)`` for AWGN observations.
+
+        The last axis is the symbol axis; leading axes are preserved and the
+        output's last axis has ``bits_per_symbol`` times as many entries.
+        """
 
     def _check_bits(self, bits: np.ndarray) -> np.ndarray:
         arr = np.asarray(bits)
-        if arr.ndim != 1:
-            raise DecodingError("modulator expects a one-dimensional bit array")
-        if arr.size % self.bits_per_symbol != 0:
+        if arr.ndim == 0:
+            raise DecodingError("modulator expects at least a one-dimensional bit array")
+        if arr.shape[-1] % self.bits_per_symbol != 0:
             raise DecodingError(
-                f"bit count {arr.size} is not a multiple of bits/symbol "
+                f"bit count {arr.shape[-1]} is not a multiple of bits/symbol "
                 f"({self.bits_per_symbol})"
             )
         if arr.size and (arr.min() < 0 or arr.max() > 1):
@@ -79,9 +92,9 @@ class QPSKModulator(Modulator):
 
     def modulate(self, bits: np.ndarray) -> np.ndarray:
         arr = self._check_bits(bits)
-        pairs = arr.reshape(-1, 2).astype(np.float64)
-        in_phase = 1.0 - 2.0 * pairs[:, 0]
-        quadrature = 1.0 - 2.0 * pairs[:, 1]
+        pairs = arr.reshape(*arr.shape[:-1], -1, 2).astype(np.float64)
+        in_phase = 1.0 - 2.0 * pairs[..., 0]
+        quadrature = 1.0 - 2.0 * pairs[..., 1]
         return (in_phase + 1j * quadrature) / np.sqrt(2.0)
 
     def demodulate_llr(self, received: np.ndarray, noise_variance: float) -> np.ndarray:
@@ -89,7 +102,7 @@ class QPSKModulator(Modulator):
         obs = np.asarray(received, dtype=np.complex128)
         # Each axis is BPSK with amplitude 1/sqrt(2); LLR = 2*sqrt(2)*y_axis/sigma^2.
         scale = 2.0 * np.sqrt(2.0) / sigma2
-        llrs = np.empty(obs.size * 2, dtype=np.float64)
-        llrs[0::2] = scale * obs.real
-        llrs[1::2] = scale * obs.imag
+        llrs = np.empty((*obs.shape[:-1], obs.shape[-1] * 2), dtype=np.float64)
+        llrs[..., 0::2] = scale * obs.real
+        llrs[..., 1::2] = scale * obs.imag
         return llrs

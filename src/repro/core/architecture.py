@@ -35,7 +35,7 @@ from repro.noc.routing import RoutingTables, build_routing_tables
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.topologies import Topology, build_topology
 from repro.pe.ldpc_core import LdpcCoreModel
-from repro.pe.processing_element import DecoderMode, ProcessingElement
+from repro.pe.processing_element import ProcessingElement
 from repro.pe.siso_core import SisoCoreModel
 from repro.turbo.decoder import TurboDecoder, TurboDecoderResult
 from repro.turbo.encoder import TurboEncoder

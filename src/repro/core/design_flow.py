@@ -23,7 +23,7 @@ from repro.hw.area import NocAreaModel
 from repro.ldpc.wimax import WimaxLdpcCode
 from repro.mapping.ldpc_mapping import map_ldpc_code
 from repro.mapping.turbo_mapping import map_turbo_code
-from repro.noc.config import NocConfiguration, RoutingAlgorithm
+from repro.noc.config import RoutingAlgorithm
 from repro.noc.routing import build_routing_tables
 from repro.noc.simulator import NocSimulator
 from repro.noc.topologies import build_topology

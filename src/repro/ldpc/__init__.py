@@ -15,6 +15,10 @@ of degree 6/7).  This package provides:
   used as a reference baseline,
 * :class:`~repro.ldpc.tanner.TannerGraph` — bipartite graph view used by the
   mapping substrate.
+
+Both decoders decode one frame per call; for Monte-Carlo work over many
+frames use their batched twins in :mod:`repro.sim`, which the per-frame
+classes delegate to (``batch=1``) and match bit-for-bit.
 """
 
 from repro.ldpc.hmatrix import ParityCheckMatrix

@@ -5,6 +5,10 @@ The paper's LDPC core (Fig. 2) extracts the first two minima of the incoming
 the normalized-min-sum approximation of eq. (11).  The same arithmetic is used
 by the functional decoders here so that the cycle-accurate PE model and the
 bit-true decoder agree by construction.
+
+These are the scalar (one check at a time) reference implementations; the
+batch engine uses the vectorised twins in :mod:`repro.sim.kernels`, which are
+property-tested to match :func:`min_sum_check_update` bit-for-bit.
 """
 
 from __future__ import annotations

@@ -145,6 +145,26 @@ class LDPCEncoder:
         codeword[self._parity_columns] = parity.astype(np.int8)
         return codeword
 
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, k)`` bit array into ``(batch, n)`` codewords.
+
+        Vectorised equivalent of calling :meth:`encode` row by row (one GF(2)
+        matrix-matrix product for the whole batch); used by the batched BER
+        engine in :mod:`repro.sim`.
+        """
+        bits = np.asarray(info_bits, dtype=np.int64)
+        if bits.ndim != 2 or bits.shape[1] != self._k:
+            raise CodeDefinitionError(
+                f"expected a (batch, {self._k}) bit array, got shape {bits.shape}"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise CodeDefinitionError("information bits must be 0/1 values")
+        parity = (bits @ self._encode_matrix.astype(np.int64).T) % 2
+        codewords = np.zeros((bits.shape[0], self._n), dtype=np.int8)
+        codewords[:, self._systematic_columns] = bits.astype(np.int8)
+        codewords[:, self._parity_columns] = parity.astype(np.int8)
+        return codewords
+
     def extract_info(self, codeword: np.ndarray) -> np.ndarray:
         """Recover the information bits from a (hard-decision) codeword."""
         word = np.asarray(codeword, dtype=np.int8)

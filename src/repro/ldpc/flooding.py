@@ -7,6 +7,13 @@ nodes updated from the previous iteration's variable messages, then all
 variable nodes — with either the exact sum-product kernel or the normalized
 min-sum kernel, and is used by tests and by the functional-comparison bench
 to reproduce that claim.
+
+Since the batch engine landed, this module is a thin per-frame facade: the
+message passing itself lives in :class:`repro.sim.batch.BatchFloodingDecoder`
+(flat edge arrays, one dense tensor op per phase), and :meth:`decode` runs it
+with ``batch=1``.  Decoding many frames?  Use the batch decoder (or
+:class:`repro.sim.runner.BerRunner`) directly — stacking frames on the batch
+axis returns bit-identical results at a fraction of the per-frame cost.
 """
 
 from __future__ import annotations
@@ -16,8 +23,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DecodingError
-from repro.ldpc.checknode import hard_decision, min_sum_check_update
 from repro.ldpc.hmatrix import ParityCheckMatrix
+from repro.sim.batch import BatchFloodingDecoder
+from repro.sim.kernels import sum_product_update
 
 
 @dataclass
@@ -37,28 +45,26 @@ class FloodingDecoderResult:
 
 
 def _sum_product_check_update(q_values: np.ndarray) -> np.ndarray:
-    """Exact sum-product check update using the tanh rule (numerically clipped)."""
-    q = np.clip(np.asarray(q_values, dtype=np.float64), -30.0, 30.0)
-    tanh_half = np.tanh(q / 2.0)
-    # Leave-one-out product computed via the total product and division,
-    # guarding the zero-tanh case by falling back to an explicit loop.
-    result = np.empty_like(q)
-    if np.all(np.abs(tanh_half) > 1e-12):
-        total = np.prod(tanh_half)
-        leave_one_out = total / tanh_half
-    else:
-        leave_one_out = np.empty_like(q)
-        for k in range(q.size):
-            mask = np.ones(q.size, dtype=bool)
-            mask[k] = False
-            leave_one_out[k] = np.prod(tanh_half[mask])
-    leave_one_out = np.clip(leave_one_out, -0.999999999999, 0.999999999999)
-    result = 2.0 * np.arctanh(leave_one_out)
-    return result
+    """Exact sum-product check update for the edges of one check.
+
+    Thin single-check wrapper over :func:`repro.sim.kernels.sum_product_update`,
+    which computes the leave-one-out ``tanh`` product with log-domain-stable
+    prefix/suffix products of the ``|tanh| <= 1`` factors — no division by a
+    near-zero ``tanh`` and no O(d^2) fallback loop.
+    """
+    q = np.asarray(q_values, dtype=np.float64)
+    if q.ndim != 1:
+        raise DecodingError("sum-product check update expects a 1-D message array")
+    return sum_product_update(q[None, :])[0]
 
 
 class FloodingDecoder:
-    """Two-phase BP decoder (sum-product or min-sum kernel)."""
+    """Two-phase BP decoder (sum-product or min-sum kernel), one frame at a time.
+
+    All message passing delegates to
+    :class:`repro.sim.batch.BatchFloodingDecoder` with ``batch=1``, so this
+    class and the batch engine agree bit-for-bit by construction.
+    """
 
     def __init__(
         self,
@@ -68,23 +74,53 @@ class FloodingDecoder:
         scaling: float = 0.75,
         early_termination: bool = True,
     ):
-        if max_iterations <= 0:
-            raise DecodingError(f"max_iterations must be positive, got {max_iterations}")
-        if kernel not in ("sum-product", "min-sum"):
-            raise DecodingError(
-                f"kernel must be 'sum-product' or 'min-sum', got {kernel!r}"
-            )
         self._h = h
-        self.max_iterations = int(max_iterations)
-        self.kernel = kernel
-        self.scaling = float(scaling)
-        self.early_termination = bool(early_termination)
-        self._rows = [h.row(r) for r in range(h.n_rows)]
+        self._batch = BatchFloodingDecoder(
+            h,
+            max_iterations=max_iterations,
+            kernel=kernel,
+            scaling=scaling,
+            early_termination=early_termination,
+        )
 
-    def _check_update(self, q_values: np.ndarray) -> np.ndarray:
-        if self.kernel == "sum-product":
-            return _sum_product_check_update(q_values)
-        return min_sum_check_update(q_values, scaling=self.scaling)
+    # The tunables live on the inner batch decoder (which reads them on every
+    # decode), so mutating them after construction keeps working as it did
+    # when this class held the loop itself.
+    @property
+    def max_iterations(self) -> int:
+        """Maximum number of flooding iterations per frame."""
+        return self._batch.max_iterations
+
+    @max_iterations.setter
+    def max_iterations(self, value: int) -> None:
+        self._batch.max_iterations = int(value)
+
+    @property
+    def kernel(self) -> str:
+        """Check-node kernel: ``"sum-product"`` or ``"min-sum"``."""
+        return self._batch.kernel
+
+    @kernel.setter
+    def kernel(self, value: str) -> None:
+        self._batch.kernel = value
+
+    @property
+    def scaling(self) -> float:
+        """Min-sum normalisation factor ``sigma`` (min-sum kernel only)."""
+        return self._batch.scaling
+
+    @scaling.setter
+    def scaling(self, value: float) -> None:
+        self._batch.scaling = float(value)
+
+    @property
+    def early_termination(self) -> bool:
+        """Stop a frame as soon as its hard decision is a codeword."""
+        return self._batch.early_termination
+
+    @early_termination.setter
+    def early_termination(self, value: bool) -> None:
+        self._batch.early_termination = bool(value)
 
     def decode(self, channel_llrs: np.ndarray) -> FloodingDecoderResult:
         """Decode one frame of channel LLRs with the flooding schedule."""
@@ -93,35 +129,11 @@ class FloodingDecoder:
             raise DecodingError(
                 f"expected {self._h.n_cols} channel LLRs, got shape {llrs_in.shape}"
             )
-        n_rows = self._h.n_rows
-        # Check-to-variable messages, one array per check (row order).
-        c2v = [np.zeros(row.size, dtype=np.float64) for row in self._rows]
-        iterations_done = 0
-        converged = False
-        unsatisfied_history: list[int] = []
-        posterior = llrs_in.copy()
-        for iteration in range(self.max_iterations):
-            # Variable-to-check phase: v2c = posterior minus own previous c2v.
-            v2c = [posterior[self._rows[r]] - c2v[r] for r in range(n_rows)]
-            # Check-node phase.
-            c2v = [self._check_update(v2c[r]) for r in range(n_rows)]
-            # A-posteriori accumulation.
-            posterior = llrs_in.copy()
-            for r in range(n_rows):
-                posterior[self._rows[r]] += c2v[r]
-            iterations_done = iteration + 1
-            hard = hard_decision(posterior)
-            unsatisfied = int(self._h.syndrome(hard).sum())
-            unsatisfied_history.append(unsatisfied)
-            if unsatisfied == 0:
-                converged = True
-                if self.early_termination:
-                    break
-        hard = hard_decision(posterior)
+        result = self._batch.decode_batch(llrs_in[None, :])
         return FloodingDecoderResult(
-            hard_bits=hard,
-            llrs=posterior,
-            iterations=iterations_done,
-            converged=converged,
-            unsatisfied_history=unsatisfied_history,
+            hard_bits=result.hard_bits[0],
+            llrs=result.llrs[0],
+            iterations=int(result.iterations[0]),
+            converged=bool(result.converged[0]),
+            unsatisfied_history=list(result.unsatisfied_history[0]),
         )

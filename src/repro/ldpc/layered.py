@@ -9,6 +9,14 @@ reference for the cycle-accurate PE model.
 
 Both floating-point and fixed-point (7-bit channel / 5-bit extrinsic, as in
 the paper) operation are supported.
+
+Since the batch engine landed, this module is a thin per-frame facade: the
+layered recursion itself lives in
+:class:`repro.sim.batch.BatchLayeredDecoder` (vectorised over the batch
+axis), and :meth:`decode` runs it with ``batch=1``.  Decoding many frames?
+Use the batch decoder (or :class:`repro.sim.runner.BerRunner`) directly —
+stacking frames on the batch axis returns bit-identical results at a
+fraction of the per-frame cost.
 """
 
 from __future__ import annotations
@@ -17,10 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channel.quantize import CHANNEL_LLR_SPEC, EXTRINSIC_SPEC, LLRQuantizer
 from repro.errors import DecodingError
-from repro.ldpc.checknode import hard_decision, min_sum_check_update
 from repro.ldpc.hmatrix import ParityCheckMatrix
+from repro.sim.batch import BatchLayeredDecoder
 
 
 @dataclass
@@ -43,6 +50,10 @@ class LayeredDecoderResult:
 
 class LayeredMinSumDecoder:
     """Layered normalized-min-sum decoder over a :class:`ParityCheckMatrix`.
+
+    One frame at a time; delegates to
+    :class:`repro.sim.batch.BatchLayeredDecoder` with ``batch=1`` so this
+    class and the batch engine agree bit-for-bit by construction.
 
     Parameters
     ----------
@@ -69,34 +80,59 @@ class LayeredMinSumDecoder:
         fixed_point: bool = False,
         early_termination: bool = True,
     ):
-        if max_iterations <= 0:
-            raise DecodingError(f"max_iterations must be positive, got {max_iterations}")
-        if not 0.0 < scaling <= 1.0:
-            raise DecodingError(f"scaling must be in (0, 1], got {scaling}")
         self._h = h
-        self.max_iterations = int(max_iterations)
-        self.scaling = float(scaling)
-        self.fixed_point = bool(fixed_point)
-        self.early_termination = bool(early_termination)
-        self._channel_quantizer = LLRQuantizer(CHANNEL_LLR_SPEC)
-        self._extrinsic_quantizer = LLRQuantizer(EXTRINSIC_SPEC)
-        # Pre-extract row structure once; the decoder touches it every layer.
-        self._rows = [h.row(r) for r in range(h.n_rows)]
+        self._batch = BatchLayeredDecoder(
+            h,
+            max_iterations=max_iterations,
+            scaling=scaling,
+            kernel="min-sum",
+            fixed_point=fixed_point,
+            early_termination=early_termination,
+        )
+
+    # The tunables live on the inner batch decoder (which reads them on every
+    # decode), so mutating them after construction keeps working as it did
+    # when this class held the loop itself.
+    @property
+    def max_iterations(self) -> int:
+        """Maximum number of layered iterations per frame."""
+        return self._batch.max_iterations
+
+    @max_iterations.setter
+    def max_iterations(self, value: int) -> None:
+        self._batch.max_iterations = int(value)
+
+    @property
+    def scaling(self) -> float:
+        """Min-sum normalisation factor ``sigma``."""
+        return self._batch.scaling
+
+    @scaling.setter
+    def scaling(self, value: float) -> None:
+        self._batch.scaling = float(value)
+
+    @property
+    def fixed_point(self) -> bool:
+        """Quantise to the paper's 7-bit/5-bit formats around every update."""
+        return self._batch.fixed_point
+
+    @fixed_point.setter
+    def fixed_point(self, value: bool) -> None:
+        self._batch.fixed_point = bool(value)
+
+    @property
+    def early_termination(self) -> bool:
+        """Stop a frame as soon as its hard decision is a codeword."""
+        return self._batch.early_termination
+
+    @early_termination.setter
+    def early_termination(self, value: bool) -> None:
+        self._batch.early_termination = bool(value)
 
     @property
     def h(self) -> ParityCheckMatrix:
         """The parity-check matrix this decoder was built for."""
         return self._h
-
-    def _quantize_channel(self, llrs: np.ndarray) -> np.ndarray:
-        if not self.fixed_point:
-            return llrs.astype(np.float64)
-        return self._channel_quantizer.quantize_to_real(llrs)
-
-    def _quantize_extrinsic(self, values: np.ndarray) -> np.ndarray:
-        if not self.fixed_point:
-            return values
-        return self._extrinsic_quantizer.quantize_to_real(values)
 
     def decode(self, channel_llrs: np.ndarray) -> LayeredDecoderResult:
         """Decode one frame of channel LLRs (positive LLR means bit 0).
@@ -112,40 +148,14 @@ class LayeredMinSumDecoder:
             raise DecodingError(
                 f"expected {self._h.n_cols} channel LLRs, got shape {llrs_in.shape}"
             )
-        lam = self._quantize_channel(llrs_in).copy()
-        # R messages, one per (check, edge) pair, stored per row in row order.
-        r_messages = [np.zeros(row.size, dtype=np.float64) for row in self._rows]
-        iterations_done = 0
-        converged = False
-        unsatisfied_history: list[int] = []
-        for iteration in range(self.max_iterations):
-            for check_idx, cols in enumerate(self._rows):
-                r_old = r_messages[check_idx]
-                q_values = lam[cols] - r_old
-                r_new = min_sum_check_update(q_values, scaling=self.scaling)
-                r_new = self._quantize_extrinsic(r_new)
-                lam[cols] = q_values + r_new
-                if self.fixed_point:
-                    lam[cols] = self._channel_quantizer.quantize_to_real(lam[cols])
-                r_messages[check_idx] = r_new
-            iterations_done = iteration + 1
-            hard = hard_decision(lam)
-            syndrome = self._h.syndrome(hard)
-            unsatisfied = int(syndrome.sum())
-            unsatisfied_history.append(unsatisfied)
-            if unsatisfied == 0:
-                converged = True
-                if self.early_termination:
-                    break
-        hard = hard_decision(lam)
-        syndrome_weight = int(self._h.syndrome(hard).sum())
+        result = self._batch.decode_batch(llrs_in[None, :])
         return LayeredDecoderResult(
-            hard_bits=hard,
-            llrs=lam,
-            iterations=iterations_done,
-            converged=converged and syndrome_weight == 0,
-            syndrome_weight=syndrome_weight,
-            unsatisfied_history=unsatisfied_history,
+            hard_bits=result.hard_bits[0],
+            llrs=result.llrs[0],
+            iterations=int(result.iterations[0]),
+            converged=bool(result.converged[0]),
+            syndrome_weight=int(result.syndrome_weights[0]),
+            unsatisfied_history=list(result.unsatisfied_history[0]),
         )
 
     def messages_per_iteration(self) -> int:

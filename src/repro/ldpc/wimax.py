@@ -179,6 +179,10 @@ class WimaxLdpcCode:
         """Systematically encode ``k`` information bits into an ``n``-bit codeword."""
         return self.encoder.encode(info_bits)
 
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, k)`` bit array into ``(batch, n)`` codewords."""
+        return self.encoder.encode_batch(info_bits)
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

@@ -1,0 +1,69 @@
+"""Interval estimates for Monte-Carlo error-rate measurements.
+
+A BER point estimated from ``k`` errors in ``n`` trials is a binomial
+proportion; for the small ``k`` typical of waterfall-region simulation the
+naive normal (Wald) interval is badly miscalibrated, so the runner reports
+Wilson score intervals instead (well-behaved down to ``k = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Two-sided normal quantiles for the confidence levels the runner exposes.
+_Z_SCORES = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+
+def wilson_interval(
+    errors: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Parameters
+    ----------
+    errors:
+        Number of observed errors (successes of the rare event), ``>= 0``.
+    trials:
+        Number of Bernoulli trials, ``>= errors``.  With zero trials the
+        interval is the uninformative ``(0, 1)``.
+    confidence:
+        Two-sided confidence level; one of 0.90, 0.95 or 0.99.
+
+    Returns
+    -------
+    tuple[float, float]
+        ``(lower, upper)`` bounds on the true error probability.
+    """
+    if errors < 0 or trials < 0 or errors > trials:
+        raise ConfigurationError(
+            f"need 0 <= errors <= trials, got errors={errors}, trials={trials}"
+        )
+    if confidence not in _Z_SCORES:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+        )
+    if trials == 0:
+        return (0.0, 1.0)
+    z = _Z_SCORES[confidence]
+    p_hat = errors / trials
+    z2_over_n = z * z / trials
+    denominator = 1.0 + z2_over_n
+    centre = p_hat + z2_over_n / 2.0
+    half_width = z * math.sqrt(
+        (p_hat * (1.0 - p_hat) + z2_over_n / 4.0) / trials
+    )
+    lower = max(0.0, (centre - half_width) / denominator)
+    upper = min(1.0, (centre + half_width) / denominator)
+    # Rounding can leave the degenerate endpoints a few ulp off their exact
+    # values (e.g. lower ~ 1e-19 for zero errors); pin them.
+    if errors == 0:
+        lower = 0.0
+    if errors == trials:
+        upper = 1.0
+    return (lower, upper)

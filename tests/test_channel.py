@@ -40,9 +40,20 @@ class TestBPSK:
         with pytest.raises(DecodingError):
             BPSKModulator().modulate(np.array([0, 2]))
 
-    def test_rejects_matrix_input(self):
+    def test_batched_input_matches_rowwise(self):
+        mod = BPSKModulator()
+        bits = np.array([[0, 1, 0, 1], [1, 1, 0, 0]])
+        symbols = mod.modulate(bits)
+        assert symbols.shape == bits.shape
+        for row in range(bits.shape[0]):
+            assert np.array_equal(symbols[row], mod.modulate(bits[row]))
+        llrs = mod.demodulate_llr(symbols, noise_variance=0.5)
+        assert llrs.shape == bits.shape
+        assert ((llrs < 0).astype(int) == bits).all()
+
+    def test_rejects_scalar_input(self):
         with pytest.raises(DecodingError):
-            BPSKModulator().modulate(np.zeros((2, 2), dtype=int))
+            BPSKModulator().modulate(np.array(1))
 
     def test_rejects_bad_noise_variance(self):
         with pytest.raises(ConfigurationError):

@@ -203,6 +203,21 @@ class TestFloodingDecoder:
         assert layered_iters, "no frame converged under both schedules"
         assert np.mean(layered_iters) < np.mean(flooding_iters)
 
+    def test_mutating_parameters_after_construction_takes_effect(self, small_ldpc_code, rng):
+        _, llrs = make_ldpc_llrs(small_ldpc_code, ebn0_db=4.0, rng=rng)
+        decoder = FloodingDecoder(
+            small_ldpc_code.h, max_iterations=3, early_termination=False
+        )
+        assert decoder.decode(llrs).iterations == 3
+        decoder.max_iterations = 7
+        assert decoder.decode(llrs).iterations == 7
+        layered = LayeredMinSumDecoder(
+            small_ldpc_code.h, max_iterations=2, early_termination=False
+        )
+        assert layered.decode(llrs).iterations == 2
+        layered.max_iterations = 5
+        assert layered.decode(llrs).iterations == 5
+
     def test_rejects_unknown_kernel(self, small_ldpc_code):
         with pytest.raises(DecodingError):
             FloodingDecoder(small_ldpc_code.h, kernel="approximate")
