@@ -36,7 +36,7 @@ def _throughput(spec: DecoderSpec, code, ncycles: int) -> float:
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_injection_rate_and_flags(benchmark, bench_print):
+def test_ablation_injection_rate_and_flags(benchmark, bench_print, bench_json):
     """Sweep R, RL and DCM/SCM at the P=22 Kautz-D3 design point."""
     spec = DecoderSpec(mapping_attempts=2)
     code = wimax_ldpc_code(2304, "1/2")
@@ -84,6 +84,18 @@ def test_ablation_injection_rate_and_flags(benchmark, bench_print):
             ]
         )
     bench_print(table.render())
+    bench_json(
+        "ablation_noc_params",
+        "injection_rate_and_flags",
+        {
+            label: {
+                "ncycles": int(sim.ncycles),
+                "throughput_mbps": round(_throughput(spec, code, sim.ncycles), 2),
+                "max_fifo": int(sim.max_fifo_occupancy),
+            }
+            for label, sim in results.items()
+        },
+    )
 
     # Expected orderings: higher R never slows the phase down; routing local
     # messages through the network (RL=1) costs cycles; DCM never beats SCM by
@@ -94,7 +106,7 @@ def test_ablation_injection_rate_and_flags(benchmark, bench_print):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print):
+def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print, bench_json):
     """AP vs PP: FIFO depth (from simulation) drives the NoC area difference."""
     spec = DecoderSpec(mapping_attempts=2)
     code = wimax_ldpc_code(2304, "1/2")
@@ -131,6 +143,11 @@ def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print):
              config.flit_bits(22), f"{area:.2f}"]
         )
     bench_print(table.render())
+    bench_json(
+        "ablation_noc_params",
+        "node_architecture_area",
+        {arch: round(area, 3) for arch, area in areas.items()},
+    )
 
     # The AP architecture (no header, capped FIFOs) must yield the smaller NoC.
     assert areas["AP"] <= areas["PP"]

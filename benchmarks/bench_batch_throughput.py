@@ -102,7 +102,7 @@ def _compare(code, seed_decode, batch_decoder, llrs, bench_print, label):
 
 
 @pytest.mark.benchmark(group="batch-throughput")
-def test_batch_flooding_throughput_speedup(benchmark, bench_print):
+def test_batch_flooding_throughput_speedup(benchmark, bench_print, bench_json):
     """Flooding min-sum: the batch engine must beat the seed path >= 10x."""
     code = wimax_ldpc_code(576, "1/2")
     llrs = _make_llr_batch(code, BATCH)
@@ -113,12 +113,18 @@ def test_batch_flooding_throughput_speedup(benchmark, bench_print):
         code, _seed_flooding_decode, decoder, llrs, bench_print,
         f"flooding  (n={code.n}, {MAX_ITERATIONS} it)",
     )
+    bench_json(
+        "batch_throughput",
+        "flooding",
+        {"n": code.n, "batch": BATCH, "max_iterations": MAX_ITERATIONS,
+         "ebn0_db": EBN0_DB, "speedup": round(speedup, 2)},
+    )
     benchmark(run_batch)
     assert speedup >= 10.0
 
 
 @pytest.mark.benchmark(group="batch-throughput")
-def test_batch_layered_throughput_speedup(benchmark, bench_print):
+def test_batch_layered_throughput_speedup(benchmark, bench_print, bench_json):
     """Layered min-sum: batch-axis amortisation must beat the seed path >= 10x."""
     code = wimax_ldpc_code(576, "1/2")
     llrs = _make_llr_batch(code, BATCH)
@@ -128,6 +134,12 @@ def test_batch_layered_throughput_speedup(benchmark, bench_print):
     speedup, run_batch = _compare(
         code, _seed_layered_decode, decoder, llrs, bench_print,
         f"layered   (n={code.n}, {MAX_ITERATIONS} it)",
+    )
+    bench_json(
+        "batch_throughput",
+        "layered",
+        {"n": code.n, "batch": BATCH, "max_iterations": MAX_ITERATIONS,
+         "ebn0_db": EBN0_DB, "speedup": round(speedup, 2)},
     )
     benchmark(run_batch)
     assert speedup >= 10.0

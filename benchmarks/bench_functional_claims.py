@@ -41,7 +41,7 @@ def _ldpc_frame_llrs(code, ebn0_db, rng):
 
 
 @pytest.mark.benchmark(group="functional")
-def test_layered_vs_flooding_convergence(benchmark, bench_print):
+def test_layered_vs_flooding_convergence(benchmark, bench_print, bench_json):
     """Layered scheduling needs roughly half the iterations of flooding (Section II-B)."""
     code = wimax_ldpc_code(576, "1/2")
     frames = _frames(12)
@@ -68,11 +68,19 @@ def test_layered_vs_flooding_convergence(benchmark, bench_print):
         f"  flooding min-sum: {flooding_mean:.2f}\n"
         f"  speed-up        : {ratio:.2f}x (paper: ~2x)"
     )
+    bench_json(
+        "functional_claims",
+        "layered_vs_flooding_convergence",
+        {"n": code.n, "ebn0_db": 2.6, "frames": frames,
+         "layered_mean_iterations": round(layered_mean, 2),
+         "flooding_mean_iterations": round(flooding_mean, 2),
+         "convergence_speedup": round(ratio, 2)},
+    )
     assert ratio > 1.4
 
 
 @pytest.mark.benchmark(group="functional")
-def test_fixed_point_quantization_loss(benchmark, bench_print):
+def test_fixed_point_quantization_loss(benchmark, bench_print, bench_json):
     """The 7-bit / 5-bit fixed-point datapath tracks the floating-point decoder."""
     code = wimax_ldpc_code(576, "1/2")
     frames = _frames(15)
@@ -94,12 +102,21 @@ def test_fixed_point_quantization_loss(benchmark, bench_print):
         f"  floating point : {float_report}\n"
         f"  fixed point    : {fixed_report}"
     )
+    bench_json(
+        "functional_claims",
+        "fixed_point_quantization",
+        {"n": code.n, "ebn0_db": 2.2, "frames": frames,
+         "float_bit_errors": int(float_report.bit_errors),
+         "fixed_bit_errors": int(fixed_report.bit_errors),
+         "float_frame_errors": int(float_report.frame_errors),
+         "fixed_frame_errors": int(fixed_report.frame_errors)},
+    )
     # The quantised decoder may lose a little but must stay in the same regime.
     assert fixed_report.frame_errors <= float_report.frame_errors + max(2, frames // 4)
 
 
 @pytest.mark.benchmark(group="functional")
-def test_bit_level_extrinsic_exchange_loss(benchmark, bench_print):
+def test_bit_level_extrinsic_exchange_loss(benchmark, bench_print, bench_json):
     """Bit-level exchange (BTS/STB) degrades the turbo decoder only mildly (Section IV-B)."""
     encoder = TurboEncoder(n_couples=96)
     frames = _frames(15)
@@ -130,12 +147,19 @@ def test_bit_level_extrinsic_exchange_loss(benchmark, bench_print):
         f"  bit-level    (2 values/message) : {bit_report}\n"
         "  paper claim: ~1/3 NoC payload reduction for ~0.2 dB loss"
     )
+    bench_json(
+        "functional_claims",
+        "bit_level_extrinsic_exchange",
+        {"n_couples": encoder.n_couples, "ebn0_db": 1.6, "frames": frames,
+         "symbol_level_bit_errors": int(symbol_report.bit_errors),
+         "bit_level_bit_errors": int(bit_report.bit_errors)},
+    )
     # Bit-level exchange must not collapse: within a small factor of symbol level.
     assert bit_report.bit_errors <= symbol_report.bit_errors + encoder.k * frames // 20
 
 
 @pytest.mark.benchmark(group="functional")
-def test_ldpc_decoding_throughput_software(benchmark):
+def test_ldpc_decoding_throughput_software(benchmark, bench_json):
     """Software decoding speed of the layered core (context for the repro band note)."""
     code = wimax_ldpc_code(2304, "1/2")
     decoder = LayeredMinSumDecoder(code.h, max_iterations=10)
@@ -143,4 +167,10 @@ def test_ldpc_decoding_throughput_software(benchmark):
     codeword, llrs = _ldpc_frame_llrs(code, 3.0, rng)
 
     result = benchmark(lambda: decoder.decode(llrs))
+    bench_json(
+        "functional_claims",
+        "ldpc_software_throughput",
+        {"n": code.n, "max_iterations": 10,
+         "frames_per_sec_per_frame_path": round(1.0 / benchmark.stats.stats.mean, 2)},
+    )
     assert (result.hard_bits == codeword).all()

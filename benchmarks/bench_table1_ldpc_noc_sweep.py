@@ -41,7 +41,7 @@ def _run_sweep() -> list:
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_noc_design_space(benchmark, bench_print):
+def test_table1_noc_design_space(benchmark, bench_print, bench_json):
     """Regenerate Table I and verify the paper's qualitative conclusions."""
     points = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
     bench_print(build_table1(points).render())
@@ -51,6 +51,18 @@ def test_table1_noc_design_space(benchmark, bench_print):
     for check in checks:
         lines.append(f"  [{'PASS' if check.passed else 'FAIL'}] {check.name}: {check.detail}")
     bench_print("\n".join(lines))
+    bench_json(
+        "table1",
+        "design_space_sweep",
+        {
+            "design_points": len(points),
+            "parallelisms": _parallelisms(),
+            "trend_checks": {check.name: bool(check.passed) for check in checks},
+            "best_throughput_mbps": round(
+                max(point.throughput_mbps for point in points), 2
+            ),
+        },
+    )
 
     # The reproduction is judged on the trends, not the absolute Mb/s values.
     assert points, "the sweep produced no design points"

@@ -40,12 +40,26 @@ def _evaluate_design_case():
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_wimax_design_case(benchmark, bench_print):
+def test_table2_wimax_design_case(benchmark, bench_print, bench_json):
     """Regenerate Table II and verify the WiMAX-compliance conclusions."""
     turbo_results, ldpc_results = benchmark.pedantic(
         _evaluate_design_case, rounds=1, iterations=1
     )
     bench_print(build_table2(turbo_results, ldpc_results).render())
+    bench_json(
+        "table2",
+        "wimax_design_case",
+        {
+            mode: {
+                routing: {
+                    "throughput_mbps": round(result.throughput_mbps, 2),
+                    "noc_area_mm2": round(result.area.noc_mm2, 3),
+                }
+                for routing, result in results.items()
+            }
+            for mode, results in (("turbo", turbo_results), ("ldpc", ldpc_results))
+        },
+    )
 
     summary = ["Conclusions checked against the paper:"]
     # 1. Turbo mode clears the 70 Mb/s WiMAX requirement at a 75 MHz NoC clock.
@@ -91,7 +105,7 @@ def test_table2_ldpc_design_point_cost(benchmark):
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_functional_ber_of_design_decoder(benchmark, bench_print):
+def test_table2_functional_ber_of_design_decoder(benchmark, bench_print, bench_json):
     """BER of the Table II decoder algorithm via the batched runner.
 
     Uses the paper's decoding parameters (layered normalized min-sum,
@@ -115,6 +129,22 @@ def test_table2_functional_ber_of_design_decoder(benchmark, bench_print):
             points,
             title=f"Table II decoder functional BER ({code.describe()})",
         ).render()
+    )
+    bench_json(
+        "table2",
+        "functional_ber",
+        {
+            "n": code.n,
+            "points": {
+                f"{point.ebn0_db:.1f}dB": {
+                    "ber": point.ber,
+                    "fer": point.fer,
+                    "frames": point.frames,
+                    "avg_iterations": round(point.avg_iterations, 2),
+                }
+                for point in points
+            },
+        },
     )
     # The waterfall must actually fall: monotone BER improvement with SNR.
     bers = [point.ber for point in points]

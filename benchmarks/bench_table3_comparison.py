@@ -25,13 +25,28 @@ def _evaluate_this_work():
 
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_state_of_the_art_comparison(benchmark, bench_print):
+def test_table3_state_of_the_art_comparison(benchmark, bench_print, bench_json):
     """Regenerate Table III with the reproduction model in the 'this work' row."""
     ldpc, turbo = benchmark.pedantic(_evaluate_this_work, rounds=1, iterations=1)
     bench_print(build_table3(ldpc, turbo).render())
 
     area = ldpc.area
     normalized = scale_area(area.total_mm2, 90.0, 65.0)
+    bench_json(
+        "table3",
+        "this_work_model",
+        {
+            "core_area_mm2": round(area.core_mm2, 3),
+            "total_area_mm2": round(area.total_mm2, 3),
+            "area_at_65nm_mm2": round(normalized, 3),
+            "memory_share": round(area.memory_share, 4),
+            "noc_share": round(area.noc_share, 4),
+            "ldpc_power_mw": round(ldpc.power.total_mw, 1),
+            "turbo_power_mw": round(turbo.power.total_mw, 1),
+            "ldpc_throughput_mbps": round(ldpc.throughput_mbps, 2),
+            "turbo_throughput_mbps": round(turbo.throughput_mbps, 2),
+        },
+    )
     paper_row = PAPER_TABLE3[0]
     summary = [
         "Breakdown / claim checks (paper Section V):",

@@ -6,6 +6,11 @@ produces, in one run, all the rows the paper reports next to the published
 values.  The pytest-benchmark timings measure the cost of the corresponding
 evaluation (mapping + cycle-accurate simulation + cost models).
 
+Besides the printed tables, every bench also records its headline numbers
+(frames/sec, speedups, model outputs, parameters) into a machine-readable
+``benchmarks/BENCH_<name>.json`` via the :func:`bench_json` fixture, so the
+performance trajectory can be tracked across PRs by diffing those files.
+
 Environment knobs:
 
 * ``REPRO_BENCH_FULL=1`` — run the full Table I grid (6 topology groups x
@@ -15,14 +20,46 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
 
 
 def full_benchmarks_enabled() -> bool:
     """True when the full (slow) benchmark grids were requested."""
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Writer merging one bench's results into ``BENCH_<name>.json``.
+
+    Call as ``bench_json(name, key, payload)``: ``name`` groups one bench
+    module's file, ``key`` is the entry (usually the test/scenario name) and
+    ``payload`` is any JSON-serialisable dict of metrics and parameters.
+    Entries merge into the existing file so a partial bench run never wipes
+    the other rows.
+    """
+
+    def _write(name: str, key: str, payload: dict) -> None:
+        path = _BENCH_DIR / f"BENCH_{name}.json"
+        data: dict = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                data = {}  # a previously interrupted run left a partial file
+        data[key] = payload
+        # Atomic replace so an interrupted run can never truncate the file.
+        tmp_path = path.with_suffix(".json.tmp")
+        tmp_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_path, path)
+
+    return _write
 
 
 @pytest.fixture(scope="session")

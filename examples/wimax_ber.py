@@ -9,11 +9,13 @@ algorithmic choices rest on three functional claims:
 * exchanging bit-level instead of symbol-level extrinsic information costs
   about 0.2 dB.
 
-The LDPC sweeps run through :class:`repro.sim.runner.BerRunner` — frames are
-encoded, transmitted and decoded in batches of 64, each point stops once
-enough frame errors are in, and every estimate comes with a Wilson 95%
-confidence interval.  The turbo sweep still decodes frame by frame (the
-turbo decoder has no batch kernel yet).
+Both code families run through the same :class:`repro.sim.runner.BerRunner`
+— frames are encoded, transmitted and decoded in batches, each point stops
+once enough frame errors are in, and every estimate comes with a Wilson 95%
+confidence interval.  The LDPC sweeps use the batched layered/flooding
+decoders; the turbo sweep uses the batched duo-binary BCJR engine
+(:class:`repro.sim.turbo_batch.BatchTurboDecoder`).  For a turbo-only sweep
+with more knobs see ``examples/wimax_turbo_ber.py``.
 
 Run with ``python examples/wimax_ber.py [--frames N] [--batch B]``.
 """
@@ -22,13 +24,15 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
 from repro.analysis import build_ber_table
-from repro.channel import AWGNChannel, BPSKModulator, ErrorRateAccumulator, ebn0_to_noise_sigma
 from repro.ldpc import wimax_ldpc_code
-from repro.sim import BatchFloodingDecoder, BatchLayeredDecoder, BerRunner
-from repro.turbo import TurboDecoder, TurboEncoder
+from repro.sim import (
+    BatchFloodingDecoder,
+    BatchLayeredDecoder,
+    BatchTurboDecoder,
+    BerRunner,
+)
+from repro.turbo import TurboEncoder
 
 
 def ldpc_sweep(code, decoder, ebn0_points, max_frames: int, batch_size: int, seed: int):
@@ -44,22 +48,22 @@ def ldpc_sweep(code, decoder, ebn0_points, max_frames: int, batch_size: int, see
     return runner.run(ebn0_points)
 
 
-def turbo_ber(encoder, ebn0_db: float, frames: int, seed: int, bit_level: bool) -> float:
-    """BER of the turbo decoder with symbol- or bit-level extrinsic exchange."""
-    rng = np.random.default_rng(seed)
-    modulator = BPSKModulator()
-    sigma = ebn0_to_noise_sigma(ebn0_db, 0.5)
-    decoder = TurboDecoder(encoder, max_iterations=8, bit_level_exchange=bit_level)
-    accumulator = ErrorRateAccumulator()
-    for _ in range(frames):
-        info = rng.integers(0, 2, encoder.k)
-        channel = AWGNChannel(sigma, rng)
-        llrs = modulator.demodulate_llr(
-            channel.transmit(modulator.modulate(encoder.encode(info).to_bit_array())),
-            channel.llr_noise_variance(False),
-        )
-        accumulator.update(info, decoder.decode(*decoder.split_llrs(llrs)).hard_bits)
-    return accumulator.report().ber
+def turbo_ber(
+    encoder, ebn0_db: float, frames: int, batch_size: int, seed: int, bit_level: bool
+) -> float:
+    """BER of the batched turbo decoder with symbol- or bit-level exchange."""
+    decoder = BatchTurboDecoder(
+        encoder, max_iterations=8, bit_level_exchange=bit_level
+    )
+    runner = BerRunner(
+        encoder,
+        decoder,
+        batch_size=batch_size,
+        max_frames=frames,
+        target_frame_errors=None,
+        seed=seed,
+    )
+    return runner.run_point(ebn0_db).ber
 
 
 def main() -> None:
@@ -108,16 +112,21 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------ #
-    # Turbo: symbol-level vs bit-level extrinsic exchange (paper: ~0.2 dB).
+    # Turbo: symbol-level vs bit-level extrinsic exchange (paper: ~0.2 dB),
+    # batched through the same runner as the LDPC sweeps above.
     # ------------------------------------------------------------------ #
-    turbo_frames = max(10, args.frames // 8)
+    turbo_frames = max(16, args.frames // 2)
     encoder = TurboEncoder(n_couples=96)
     print(f"Turbo BER, WiMAX CTC N={encoder.n_couples} couples, rate 1/2, "
-          f"{turbo_frames} frames per point")
+          f"{turbo_frames} frames per point (batch {args.batch})")
     print(f"{'Eb/N0 [dB]':>10} | {'symbol-level':>14} | {'bit-level (BTS/STB)':>20}")
     for ebn0 in (1.0, 1.5, 2.0):
-        symbol_level = turbo_ber(encoder, ebn0, turbo_frames, seed=2, bit_level=False)
-        bit_level = turbo_ber(encoder, ebn0, turbo_frames, seed=2, bit_level=True)
+        symbol_level = turbo_ber(
+            encoder, ebn0, turbo_frames, args.batch, seed=2, bit_level=False
+        )
+        bit_level = turbo_ber(
+            encoder, ebn0, turbo_frames, args.batch, seed=2, bit_level=True
+        )
         print(f"{ebn0:>10.1f} | {symbol_level:>14.2e} | {bit_level:>20.2e}")
     print()
     print("note: widen --frames for smoother curves; the Wilson intervals above "

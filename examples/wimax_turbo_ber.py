@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Batched Monte-Carlo BER simulation of the WiMAX CTC (turbo) code.
+
+The turbo half of the paper's multi-standard decoder, driven through the
+same :class:`repro.sim.runner.BerRunner` that serves the LDPC half: frames
+are encoded, modulated, transmitted over AWGN and decoded in batches by
+:class:`repro.sim.turbo_batch.BatchTurboDecoder` (vectorised duo-binary
+BCJR, per-frame early exit), and every BER/FER estimate comes with a Wilson
+95% confidence interval.
+
+Two sweeps reproduce the functional claims behind paper Section IV-B:
+
+* symbol-level extrinsic exchange (3 values per NoC message) versus the
+  bit-level BTS/STB path (2 values, ~1/3 payload reduction, ~0.2 dB loss),
+* the average iteration count under early exit — the quantity behind the
+  architecture's effective turbo throughput.
+
+Run with ``python examples/wimax_turbo_ber.py [--frames N] [--batch B]
+[--couples N] [--points EBN0 ...]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import build_ber_table
+from repro.sim import BatchTurboDecoder, BerRunner
+from repro.turbo import TurboEncoder
+
+
+def turbo_sweep(
+    encoder: TurboEncoder,
+    ebn0_points: list[float],
+    max_frames: int,
+    batch_size: int,
+    seed: int,
+    bit_level: bool,
+    algorithm: str = "max-log",
+):
+    """One decoder configuration over a list of Eb/N0 points."""
+    decoder = BatchTurboDecoder(
+        encoder,
+        max_iterations=8,
+        algorithm=algorithm,
+        bit_level_exchange=bit_level,
+    )
+    runner = BerRunner(
+        encoder,
+        decoder,
+        batch_size=batch_size,
+        max_frames=max_frames,
+        target_frame_errors=50,
+        seed=seed,
+    )
+    return runner.run(ebn0_points)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=256, help="max frames per point")
+    parser.add_argument("--batch", type=int, default=64, help="decoder batch size")
+    parser.add_argument(
+        "--couples", type=int, default=96,
+        help="CTC block size in couples (a standard WiMAX size, e.g. 24..2400)",
+    )
+    parser.add_argument(
+        "--points", type=float, nargs="+", default=[1.0, 1.5, 2.0],
+        help="Eb/N0 points in dB",
+    )
+    args = parser.parse_args()
+
+    encoder = TurboEncoder(n_couples=args.couples)
+    print(
+        f"WiMAX CTC N={encoder.n_couples} couples (k={encoder.k}, n={encoder.n}), "
+        f"rate 1/2, Max-Log-MAP, 8 iterations, batch {args.batch}"
+    )
+    print(f"(<= {args.frames} frames/point, stop at 50 frame errors)")
+    print()
+
+    symbol_level = turbo_sweep(
+        encoder, args.points, args.frames, args.batch, seed=2, bit_level=False
+    )
+    print(build_ber_table(symbol_level, title="symbol-level extrinsic exchange").render())
+    print()
+    bit_level = turbo_sweep(
+        encoder, args.points, args.frames, args.batch, seed=2, bit_level=True
+    )
+    print(
+        build_ber_table(
+            bit_level, title="bit-level exchange (BTS/STB, ~1/3 NoC payload)"
+        ).render()
+    )
+    print()
+    print("paper claim checks:")
+    print("  bit-level exchange costs only a small BER penalty (~0.2 dB):")
+    for sym, bit in zip(symbol_level, bit_level):
+        print(
+            f"    Eb/N0 {sym.ebn0_db:.1f} dB: symbol {sym.ber:.2e} vs bit {bit.ber:.2e}"
+        )
+    print("  early exit keeps the average iteration count well under the cap of 8:")
+    for point in symbol_level:
+        print(f"    Eb/N0 {point.ebn0_db:.1f} dB: avg {point.avg_iterations:.1f} it")
+    print()
+    print("note: widen --frames for smoother curves; the Wilson intervals above "
+          "say how far to trust each point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.noc import NocConfiguration, RoutingAlgorithm
 from repro.sim import (
     BatchFloodingDecoder,
     BatchLayeredDecoder,
+    BatchTurboDecoder,
     BerPoint,
     BerRunner,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "LayeredMinSumDecoder",
     "BatchFloodingDecoder",
     "BatchLayeredDecoder",
+    "BatchTurboDecoder",
     "BerRunner",
     "BerPoint",
     "TurboEncoder",

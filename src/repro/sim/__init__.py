@@ -17,11 +17,19 @@ check node of every frame; this package amortises that overhead over a
   :class:`~repro.sim.batch.BatchLayeredDecoder` — schedule implementations
   over ``(batch, n)`` LLR arrays with per-frame early termination; the
   per-frame decoders in :mod:`repro.ldpc` delegate to these with ``batch=1``,
+* :mod:`~repro.sim.turbo_batch` — the turbo half of the multi-standard
+  decoder: :class:`~repro.sim.turbo_batch.BatchBCJR` runs the duo-binary
+  alpha/beta/gamma recursions as dense ``(batch, n_couples, 8, 4)`` tensor
+  ops, and :class:`~repro.sim.turbo_batch.BatchTurboDecoder` alternates the
+  two SISO activations with per-frame early exit on decision stability; the
+  per-frame decoders in :mod:`repro.turbo` delegate with ``batch=1``,
 * :class:`~repro.sim.runner.BerRunner` — streams frames through the
-  modulate → AWGN → demap → decode chain in configurable batch sizes and
+  modulate → AWGN → demap → decode chain in configurable batch sizes for
+  *either* code family (any :class:`~repro.sim.batch.BatchDecoder`) and
   reports BER/FER with Wilson confidence intervals.
 
-See ``docs/batching.md`` for the memory layout and guidance on batch sizes.
+See ``docs/batching.md`` (LDPC) and ``docs/turbo-batching.md`` (turbo) for
+the memory layouts and guidance on batch sizes.
 """
 
 from repro.sim.batch import (
@@ -32,18 +40,29 @@ from repro.sim.batch import (
 )
 from repro.sim.edges import EdgeIndex
 from repro.sim.kernels import min_sum_update, sum_product_update
-from repro.sim.runner import BerPoint, BerRunner
+from repro.sim.runner import BerPoint, BerRunner, resolve_code_rate
 from repro.sim.stats import wilson_interval
+from repro.sim.turbo_batch import (
+    BatchBCJR,
+    BatchBCJRResult,
+    BatchTurboDecoder,
+    BatchTurboResult,
+)
 
 __all__ = [
+    "BatchBCJR",
+    "BatchBCJRResult",
     "BatchDecodeResult",
     "BatchDecoder",
     "BatchFloodingDecoder",
     "BatchLayeredDecoder",
+    "BatchTurboDecoder",
+    "BatchTurboResult",
     "BerPoint",
     "BerRunner",
     "EdgeIndex",
     "min_sum_update",
+    "resolve_code_rate",
     "sum_product_update",
     "wilson_interval",
 ]

@@ -70,18 +70,24 @@ class BatchDecodeResult:
 
 @runtime_checkable
 class BatchDecoder(Protocol):
-    """Protocol shared by the batched decoders (and satisfied by both here).
+    """Protocol shared by every batched decoder of either code family.
 
-    A ``BatchDecoder`` decodes ``(batch, n_bits)`` LLR arrays in one call;
-    :class:`repro.sim.runner.BerRunner` only relies on this interface.
+    A ``BatchDecoder`` decodes ``(batch, n_bits)`` channel-LLR arrays in one
+    call and returns a result carrying at least ``hard_bits`` (the per-frame
+    decisions — whole codewords for the LDPC decoders, information bits for
+    :class:`repro.sim.turbo_batch.BatchTurboDecoder`), ``iterations`` and
+    ``converged`` arrays; :class:`repro.sim.runner.BerRunner` only relies on
+    this interface.  A decoder whose decisions cover only the information
+    bits declares it with a truthy ``decides_info_bits`` class attribute
+    (absent/False means codeword decisions).
     """
 
     @property
     def n_bits(self) -> int:
-        """Codeword length each frame must have."""
+        """Channel-LLR length each frame must have (the codeword length)."""
         ...
 
-    def decode_batch(self, channel_llrs: np.ndarray) -> BatchDecodeResult:
+    def decode_batch(self, channel_llrs: np.ndarray) -> "BatchDecodeResult":
         """Decode a ``(batch, n_bits)`` array of channel LLRs."""
         ...
 

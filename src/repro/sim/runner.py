@@ -8,6 +8,17 @@ draws from its own RNG spawned off one :class:`numpy.random.SeedSequence`,
 so a sweep is reproducible bit-for-bit for a fixed ``(seed, batch_size)``
 and statistically independent across batches and points.
 
+The runner is code-family agnostic: any code exposing ``k`` / ``n`` /
+``rate`` / ``encode_batch`` paired with any
+:class:`~repro.sim.batch.BatchDecoder` works, so both halves of the paper's
+multi-standard decoder — WiMAX LDPC through
+:class:`~repro.sim.batch.BatchLayeredDecoder` /
+:class:`~repro.sim.batch.BatchFloodingDecoder` and the WiMAX CTC through
+:class:`~repro.sim.turbo_batch.BatchTurboDecoder` — stream through the same
+loop.  Decoders may decide either whole codewords (the LDPC decoders) or
+just the information bits (the turbo decoder); the runner counts errors over
+whichever the decoder returns.
+
 Point estimates come with Wilson confidence intervals
 (:func:`repro.sim.stats.wilson_interval`); conditional-moment estimation
 practice (Song-Jiang-Zhu, arXiv:2404.11092) motivates never reporting a
@@ -23,13 +34,18 @@ import numpy as np
 
 from repro.channel.awgn import AWGNChannel, ebn0_to_noise_sigma
 from repro.channel.modulation import BPSKModulator, Modulator
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DecodingError
 from repro.sim.batch import BatchDecoder
 from repro.sim.stats import wilson_interval
 
 
 class _EncodableCode(Protocol):
-    """What the runner needs from a code object (WimaxLdpcCode satisfies it)."""
+    """What the runner needs from a code object.
+
+    :class:`~repro.ldpc.wimax.WimaxLdpcCode` and
+    :class:`~repro.turbo.encoder.TurboEncoder` both satisfy it; ``rate`` may
+    be a float or an ``"a/b"`` fraction string.
+    """
 
     @property
     def k(self) -> int: ...
@@ -38,9 +54,22 @@ class _EncodableCode(Protocol):
     def n(self) -> int: ...
 
     @property
-    def rate(self) -> float: ...
+    def rate(self) -> float | str: ...
 
     def encode_batch(self, info_bits: np.ndarray) -> np.ndarray: ...
+
+
+def resolve_code_rate(rate: float | str) -> float:
+    """Normalise a code rate given as a float or an ``"a/b"`` string."""
+    if isinstance(rate, str):
+        numerator, sep, denominator = rate.partition("/")
+        try:
+            if not sep:
+                return float(numerator)
+            return float(numerator) / float(denominator)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ConfigurationError(f"cannot parse code rate {rate!r}") from exc
+    return float(rate)
 
 
 @dataclass(frozen=True)
@@ -50,7 +79,9 @@ class BerPoint:
     ``ber_interval`` / ``fer_interval`` are Wilson confidence bounds at the
     runner's confidence level; ``avg_iterations`` is the mean number of
     decoder iterations actually run (early exits included), the quantity the
-    paper's convergence-speed claim is about.
+    paper's convergence-speed claim is about.  ``total_bits`` counts the bits
+    actually compared: codeword bits for decoders that decide codewords
+    (LDPC), information bits for decoders that decide the payload (turbo).
     """
 
     ebn0_db: float
@@ -89,9 +120,12 @@ class BerRunner:
     ----------
     code:
         Code under test; needs ``k``/``n``/``rate`` and ``encode_batch``
-        (every :class:`~repro.ldpc.wimax.WimaxLdpcCode` qualifies).
+        (every :class:`~repro.ldpc.wimax.WimaxLdpcCode` and every
+        :class:`~repro.turbo.encoder.TurboEncoder` qualifies).
     decoder:
-        Any :class:`~repro.sim.batch.BatchDecoder` built for the same code.
+        Any :class:`~repro.sim.batch.BatchDecoder` built for the same code —
+        batched LDPC decoders and
+        :class:`~repro.sim.turbo_batch.BatchTurboDecoder` alike.
     modulator:
         Bit-to-symbol mapper (batched); BPSK when omitted.
     batch_size:
@@ -150,10 +184,11 @@ class BerRunner:
     def run_point(self, ebn0_db: float) -> BerPoint:
         """Simulate one Eb/N0 point until the error target or frame budget."""
         sigma = ebn0_to_noise_sigma(
-            ebn0_db, self.code.rate, self.modulator.bits_per_symbol
+            ebn0_db, resolve_code_rate(self.code.rate), self.modulator.bits_per_symbol
         )
         seq = self._point_seed_sequence(ebn0_db)
         frames = 0
+        total_bits = 0
         bit_errors = 0
         frame_errors = 0
         iteration_sum = 0
@@ -174,14 +209,24 @@ class BerRunner:
                 received, channel.llr_noise_variance(np.iscomplexobj(symbols))
             )
             result = self.decoder.decode_batch(llrs)
-            errors_per_frame = np.count_nonzero(
-                result.hard_bits != codewords, axis=1
+            decisions = np.asarray(result.hard_bits)
+            # LDPC decoders decide whole codewords; a decoder that sets
+            # ``decides_info_bits`` (the turbo decoder) decides only the
+            # systematic information bits.
+            reference = (
+                info if getattr(self.decoder, "decides_info_bits", False) else codewords
             )
+            if decisions.shape != reference.shape:
+                raise DecodingError(
+                    f"decoder returned decisions of shape {decisions.shape}; "
+                    f"expected {reference.shape}"
+                )
+            errors_per_frame = np.count_nonzero(decisions != reference, axis=1)
             frames += batch
+            total_bits += batch * reference.shape[1]
             bit_errors += int(errors_per_frame.sum())
             frame_errors += int(np.count_nonzero(errors_per_frame))
             iteration_sum += int(result.iterations.sum())
-        total_bits = frames * self.code.n
         return BerPoint(
             ebn0_db=float(ebn0_db),
             frames=frames,

@@ -16,6 +16,11 @@ almost-regular permutation.  This package provides:
   extrinsic information between the two SISOs,
 * :mod:`~repro.turbo.bits` — bit-level <-> symbol-level extrinsic conversion
   (the BTS/STB units of paper Fig. 3).
+
+The per-frame decoders delegate to the batched turbo engine in
+:mod:`repro.sim.turbo_batch` with ``batch=1``; for Monte-Carlo BER work use
+:class:`repro.sim.turbo_batch.BatchTurboDecoder` through
+:class:`repro.sim.runner.BerRunner`.
 """
 
 from repro.turbo.trellis import DuoBinaryTrellis, TrellisTransition

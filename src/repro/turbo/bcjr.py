@@ -14,6 +14,15 @@ Two flavours of max* are provided:
 Symbol-level quantities (a-priori, a-posteriori, extrinsic) are represented
 as length-4 vectors of log-probability differences with respect to symbol 0,
 i.e. element ``u`` holds ``log p(u)/p(0)`` (element 0 is always 0).
+
+Since the batched turbo engine landed, this module is a thin per-frame
+facade: the recursions themselves live in
+:class:`repro.sim.turbo_batch.BatchBCJR` (dense tensor ops over
+``(batch, n_couples, 8, 4)`` arrays) and :meth:`BCJRDecoder.decode` runs
+them with ``batch=1``.  Decoding many frames?  Use the batch kernel (or
+:class:`repro.sim.turbo_batch.BatchTurboDecoder`) directly — stacking frames
+on the batch axis returns bit-identical results at a fraction of the
+per-frame cost.
 """
 
 from __future__ import annotations
@@ -24,8 +33,6 @@ import numpy as np
 
 from repro.errors import DecodingError
 from repro.turbo.trellis import NUM_STATES, NUM_SYMBOLS, DuoBinaryTrellis
-
-_NEG_INF = -1.0e30
 
 
 @dataclass
@@ -41,6 +48,10 @@ class BCJRResult:
 
 class BCJRDecoder:
     """Max-Log-MAP / Log-MAP decoder over the duo-binary trellis.
+
+    All arithmetic delegates to :class:`repro.sim.turbo_batch.BatchBCJR`
+    with ``batch=1``, so this class and the batch kernel agree bit-for-bit
+    by construction.
 
     Parameters
     ----------
@@ -60,74 +71,34 @@ class BCJRDecoder:
         algorithm: str = "max-log",
         extrinsic_scale: float = 0.75,
     ):
-        if algorithm not in ("max-log", "log-map"):
-            raise DecodingError(
-                f"algorithm must be 'max-log' or 'log-map', got {algorithm!r}"
-            )
-        if not 0.0 < extrinsic_scale <= 1.0:
-            raise DecodingError(
-                f"extrinsic_scale must be in (0, 1], got {extrinsic_scale}"
-            )
-        self.trellis = trellis if trellis is not None else DuoBinaryTrellis()
-        self.algorithm = algorithm
-        self.extrinsic_scale = 1.0 if algorithm == "log-map" else float(extrinsic_scale)
-        self._next_state = self.trellis.next_state_table()  # (8, 4)
-        self._parity = self.trellis.parity_table()  # (8, 4, 2)
-        # Systematic bits of each symbol: a = u >> 1, b = u & 1.
-        symbols = np.arange(NUM_SYMBOLS)
-        self._sym_a = (symbols >> 1) & 1
-        self._sym_b = symbols & 1
+        # Imported lazily: repro.sim.turbo_batch itself imports repro.turbo.
+        from repro.sim.turbo_batch import BatchBCJR
 
-    # ------------------------------------------------------------------ #
-    # max* helpers
-    # ------------------------------------------------------------------ #
-    def _maxstar_reduce(self, values: np.ndarray, axis: int) -> np.ndarray:
-        """Reduce with max* along ``axis``."""
-        if self.algorithm == "max-log":
-            return values.max(axis=axis)
-        return np.log(np.sum(np.exp(values - values.max(axis=axis, keepdims=True)), axis=axis)) + values.max(axis=axis)
+        self._batch = BatchBCJR(
+            trellis, algorithm=algorithm, extrinsic_scale=extrinsic_scale
+        )
 
-    # ------------------------------------------------------------------ #
-    # Branch metrics
-    # ------------------------------------------------------------------ #
-    def _branch_metrics(
-        self,
-        systematic_llrs: np.ndarray,
-        parity_llrs: np.ndarray,
-        apriori: np.ndarray,
-    ) -> np.ndarray:
-        """Compute ``gamma`` of shape ``(n_couples, 8, 4)``.
+    @property
+    def trellis(self) -> DuoBinaryTrellis:
+        """The trellis section this decoder runs on."""
+        return self._batch.trellis
 
-        Bit metrics use the symmetric correlation form ``0.5 * (1 - 2*bit) * LLR``
-        with the convention ``LLR = log p(0)/p(1)``.
-        """
-        n = systematic_llrs.shape[0]
-        # Systematic contribution per (step, symbol).
-        sys_metric = 0.5 * (
-            (1 - 2 * self._sym_a)[None, :] * systematic_llrs[:, 0:1]
-            + (1 - 2 * self._sym_b)[None, :] * systematic_llrs[:, 1:2]
-        )  # (n, 4)
-        # Parity contribution per (step, state, symbol).
-        y_bits = self._parity[:, :, 0]  # (8, 4)
-        w_bits = self._parity[:, :, 1]  # (8, 4)
-        par_metric = 0.5 * (
-            (1 - 2 * y_bits)[None, :, :] * parity_llrs[:, 0][:, None, None]
-            + (1 - 2 * w_bits)[None, :, :] * parity_llrs[:, 1][:, None, None]
-        )  # (n, 8, 4)
-        gamma = par_metric + sys_metric[:, None, :] + apriori[:, None, :]
-        return gamma
+    @property
+    def algorithm(self) -> str:
+        """``"max-log"`` or ``"log-map"``."""
+        return self._batch.algorithm
+
+    @property
+    def extrinsic_scale(self) -> float:
+        """Scaling factor applied to the extrinsic output (1.0 for Log-MAP)."""
+        return self._batch.extrinsic_scale
 
     def systematic_symbol_metric(self, systematic_llrs: np.ndarray) -> np.ndarray:
         """Per-symbol systematic metric differences ``lambda_k[c_u] - lambda_k[c_0]``."""
-        sys_metric = 0.5 * (
-            (1 - 2 * self._sym_a)[None, :] * systematic_llrs[:, 0:1]
-            + (1 - 2 * self._sym_b)[None, :] * systematic_llrs[:, 1:2]
+        return self._batch.systematic_symbol_metric(
+            np.asarray(systematic_llrs, dtype=np.float64)
         )
-        return sys_metric - sys_metric[:, 0:1]
 
-    # ------------------------------------------------------------------ #
-    # Decoding
-    # ------------------------------------------------------------------ #
     def decode(
         self,
         systematic_llrs: np.ndarray,
@@ -159,77 +130,33 @@ class BCJRDecoder:
         if par_llrs.shape != sys_llrs.shape:
             raise DecodingError("parity_llrs must have the same shape as systematic_llrs")
         n = sys_llrs.shape[0]
-        if apriori is None:
-            apriori_arr = np.zeros((n, NUM_SYMBOLS), dtype=np.float64)
-        else:
-            apriori_arr = np.asarray(apriori, dtype=np.float64)
-            if apriori_arr.shape != (n, NUM_SYMBOLS):
+        if apriori is not None:
+            apriori = np.asarray(apriori, dtype=np.float64)
+            if apriori.shape != (n, NUM_SYMBOLS):
                 raise DecodingError(
-                    f"apriori must have shape ({n}, {NUM_SYMBOLS}), got {apriori_arr.shape}"
+                    f"apriori must have shape ({n}, {NUM_SYMBOLS}), got {apriori.shape}"
                 )
-        gamma = self._branch_metrics(sys_llrs, par_llrs, apriori_arr)
-
-        alpha = np.zeros((n + 1, NUM_STATES), dtype=np.float64)
-        beta = np.zeros((n + 1, NUM_STATES), dtype=np.float64)
-        alpha[0] = self._normalize_init(initial_alpha)
-        beta[n] = self._normalize_init(initial_beta)
-
-        next_flat = self._next_state.reshape(-1)  # (32,)
-        # Forward recursion (eq. (3)).
-        for k in range(n):
-            candidates = (alpha[k][:, None] + gamma[k]).reshape(-1)  # (32,)
-            new_alpha = np.full(NUM_STATES, _NEG_INF)
-            if self.algorithm == "max-log":
-                np.maximum.at(new_alpha, next_flat, candidates)
-            else:
-                new_alpha = self._scatter_logsumexp(next_flat, candidates)
-            new_alpha -= new_alpha.max()
-            alpha[k + 1] = new_alpha
-        # Backward recursion (eq. (4)).
-        for k in range(n - 1, -1, -1):
-            incoming = beta[k + 1][self._next_state] + gamma[k]  # (8, 4)
-            new_beta = self._maxstar_reduce(incoming, axis=1)
-            new_beta -= new_beta.max()
-            beta[k] = new_beta
-
-        # A-posteriori per symbol (eq. (1) before subtracting the systematic part).
-        b_metric = alpha[:-1][:, :, None] + gamma + beta[1:][
-            np.arange(n)[:, None, None], self._next_state[None, :, :]
-        ]  # (n, 8, 4)
-        apo_raw = self._maxstar_reduce(b_metric, axis=1)  # (n, 4)
-        apo = apo_raw - apo_raw[:, 0:1]
-
-        sys_diff = self.systematic_symbol_metric(sys_llrs)
-        apr_diff = apriori_arr - apriori_arr[:, 0:1]
-        extrinsic = self.extrinsic_scale * (apo - sys_diff - apr_diff)
-
-        hard_symbols = np.argmax(apo, axis=1).astype(np.int64)
+            apriori = apriori[None, :, :]
+        result = self._batch.decode_batch(
+            sys_llrs[None, :, :],
+            par_llrs[None, :, :],
+            apriori=apriori,
+            initial_alpha=self._lift_init(initial_alpha),
+            initial_beta=self._lift_init(initial_beta),
+        )
         return BCJRResult(
-            aposteriori=apo,
-            extrinsic=extrinsic,
-            hard_symbols=hard_symbols,
-            final_alpha=alpha[n].copy(),
-            final_beta=beta[0].copy(),
+            aposteriori=result.aposteriori[0],
+            extrinsic=result.extrinsic[0],
+            hard_symbols=result.hard_symbols[0],
+            final_alpha=result.final_alpha[0],
+            final_beta=result.final_beta[0],
         )
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
     @staticmethod
-    def _normalize_init(init: np.ndarray | None) -> np.ndarray:
+    def _lift_init(init: np.ndarray | None) -> np.ndarray | None:
         if init is None:
-            return np.zeros(NUM_STATES, dtype=np.float64)
+            return None
         arr = np.asarray(init, dtype=np.float64)
         if arr.shape != (NUM_STATES,):
             raise DecodingError(f"state-metric init must have shape ({NUM_STATES},)")
-        return arr - arr.max()
-
-    def _scatter_logsumexp(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
-        """Group ``values`` by destination state and reduce with log-sum-exp."""
-        result = np.full(NUM_STATES, _NEG_INF)
-        for state in range(NUM_STATES):
-            group = values[indices == state]
-            if group.size:
-                peak = group.max()
-                result[state] = peak + np.log(np.exp(group - peak).sum())
-        return result
+        return arr[None, :]

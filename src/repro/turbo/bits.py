@@ -33,7 +33,8 @@ def symbol_to_bit_extrinsic(symbol_extrinsic: np.ndarray, exact: bool = False) -
     Parameters
     ----------
     symbol_extrinsic:
-        ``(n_couples, 4)`` array of ``log p(u)/p(0)`` values.
+        ``(..., n_couples, 4)`` array of ``log p(u)/p(0)`` values; any leading
+        axes (e.g. a batch axis) are preserved.
     exact:
         Use the exact Jacobian (log-sum-exp) marginalisation instead of the
         max-log approximation.
@@ -41,19 +42,19 @@ def symbol_to_bit_extrinsic(symbol_extrinsic: np.ndarray, exact: bool = False) -
     Returns
     -------
     numpy.ndarray
-        ``(n_couples, 2)`` bit LLRs ``(LLR_A, LLR_B)``.
+        ``(..., n_couples, 2)`` bit LLRs ``(LLR_A, LLR_B)``.
     """
     vals = np.asarray(symbol_extrinsic, dtype=np.float64)
-    if vals.ndim != 2 or vals.shape[1] != 4:
-        raise DecodingError("symbol_extrinsic must have shape (n_couples, 4)")
+    if vals.ndim < 2 or vals.shape[-1] != 4:
+        raise DecodingError("symbol_extrinsic must have shape (..., n_couples, 4)")
     # Symbols: 0 = (A=0,B=0), 1 = (0,1), 2 = (1,0), 3 = (1,1).
-    llr_a = _maxstar_pair(vals[:, 0], vals[:, 1], exact) - _maxstar_pair(
-        vals[:, 2], vals[:, 3], exact
+    llr_a = _maxstar_pair(vals[..., 0], vals[..., 1], exact) - _maxstar_pair(
+        vals[..., 2], vals[..., 3], exact
     )
-    llr_b = _maxstar_pair(vals[:, 0], vals[:, 2], exact) - _maxstar_pair(
-        vals[:, 1], vals[:, 3], exact
+    llr_b = _maxstar_pair(vals[..., 0], vals[..., 2], exact) - _maxstar_pair(
+        vals[..., 1], vals[..., 3], exact
     )
-    return np.stack([llr_a, llr_b], axis=1)
+    return np.stack([llr_a, llr_b], axis=-1)
 
 
 def bit_to_symbol_extrinsic(bit_llrs: np.ndarray) -> np.ndarray:
@@ -61,17 +62,15 @@ def bit_to_symbol_extrinsic(bit_llrs: np.ndarray) -> np.ndarray:
 
     Assumes the two bits are independent, i.e. returns the rank-1
     approximation ``log p(u)/p(0) = -[A(u)=1]*LLR_A - [B(u)=1]*LLR_B``.
+    Accepts ``(..., n_couples, 2)`` arrays; leading axes are preserved.
     """
     llrs = np.asarray(bit_llrs, dtype=np.float64)
-    if llrs.ndim != 2 or llrs.shape[1] != 2:
-        raise DecodingError("bit_llrs must have shape (n_couples, 2)")
-    n = llrs.shape[0]
+    if llrs.ndim < 2 or llrs.shape[-1] != 2:
+        raise DecodingError("bit_llrs must have shape (..., n_couples, 2)")
     symbols = np.arange(4)
     a_bits = (symbols >> 1) & 1
     b_bits = symbols & 1
-    out = -(a_bits[None, :] * llrs[:, 0:1] + b_bits[None, :] * llrs[:, 1:2])
-    assert out.shape == (n, 4)
-    return out
+    return -(a_bits * llrs[..., 0:1] + b_bits * llrs[..., 1:2])
 
 
 def noc_payload_bits(symbol_level: bool, bits_per_value: int = 5) -> int:

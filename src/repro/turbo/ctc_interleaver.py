@@ -125,25 +125,29 @@ class CTCInterleaver:
         return out
 
     def interleave_symbols(self, symbols: np.ndarray) -> np.ndarray:
-        """Produce the sequence seen by the second constituent encoder."""
+        """Produce the sequence seen by the second constituent encoder.
+
+        The couple axis is the last one; any leading axes (e.g. a batch of
+        frames) are preserved.
+        """
         arr = np.asarray(symbols, dtype=np.int64)
-        if arr.shape != (self.n_couples,):
+        if arr.ndim == 0 or arr.shape[-1] != self.n_couples:
             raise CodeDefinitionError(
-                f"expected {self.n_couples} couples, got shape {arr.shape}"
+                f"expected {self.n_couples} couples on the last axis, got shape {arr.shape}"
             )
         swapped = self._swap_symbols(arr, self.swap_flags())
-        return swapped[self.permutation()]
+        return swapped[..., self.permutation()]
 
     def deinterleave_symbols(self, symbols: np.ndarray) -> np.ndarray:
-        """Invert :meth:`interleave_symbols`."""
+        """Invert :meth:`interleave_symbols` (leading axes preserved)."""
         arr = np.asarray(symbols, dtype=np.int64)
-        if arr.shape != (self.n_couples,):
+        if arr.ndim == 0 or arr.shape[-1] != self.n_couples:
             raise CodeDefinitionError(
-                f"expected {self.n_couples} couples, got shape {arr.shape}"
+                f"expected {self.n_couples} couples on the last axis, got shape {arr.shape}"
             )
         perm = self.permutation()
         natural_swapped = np.empty_like(arr)
-        natural_swapped[perm] = arr
+        natural_swapped[..., perm] = arr
         return self._swap_symbols(natural_swapped, self.swap_flags())
 
     # ------------------------------------------------------------------ #

@@ -5,19 +5,27 @@ in natural order, constituent code 2 in interleaved order — exchanging
 symbol-level (or, optionally, bit-level as on the paper's NoC) extrinsic
 information through the CTC interleaver.  Circular-trellis state metrics are
 inherited across iterations, which is the standard approach for CRSC codes.
+
+Since the batched turbo engine landed, this module is a thin per-frame
+facade: the iterative exchange itself lives in
+:class:`repro.sim.turbo_batch.BatchTurboDecoder` and :meth:`TurboDecoder.decode`
+runs it with ``batch=1``.  Decoding many frames?  Use the batch decoder (or
+:class:`repro.sim.runner.BerRunner`) directly — stacking frames on the batch
+axis returns bit-identical results at a fraction of the per-frame cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import DecodingError
-from repro.turbo.bcjr import BCJRDecoder
-from repro.turbo.bits import bit_to_symbol_extrinsic, symbol_to_bit_extrinsic
 from repro.turbo.encoder import TurboEncoder
-from repro.turbo.trellis import DuoBinaryTrellis
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with repro.sim
+    from repro.sim.turbo_batch import BatchTurboDecoder
 
 
 @dataclass
@@ -34,6 +42,10 @@ class TurboDecoderResult:
 
 class TurboDecoder:
     """Iterative duo-binary turbo decoder matched to :class:`TurboEncoder`.
+
+    All message passing delegates to
+    :class:`repro.sim.turbo_batch.BatchTurboDecoder` with ``batch=1``, so
+    this class and the batch engine agree bit-for-bit by construction.
 
     Parameters
     ----------
@@ -64,57 +76,59 @@ class TurboDecoder:
         bit_level_exchange: bool = False,
         early_termination: bool = True,
     ):
-        if max_iterations <= 0:
-            raise DecodingError(f"max_iterations must be positive, got {max_iterations}")
+        # Imported lazily: repro.sim.turbo_batch itself imports repro.turbo.
+        from repro.sim.turbo_batch import BatchTurboDecoder
+
+        self._batch: "BatchTurboDecoder" = BatchTurboDecoder(
+            encoder,
+            max_iterations=max_iterations,
+            algorithm=algorithm,
+            extrinsic_scale=extrinsic_scale,
+            bit_level_exchange=bit_level_exchange,
+            early_termination=early_termination,
+        )
         self.encoder = encoder
-        self.max_iterations = int(max_iterations)
-        self.bit_level_exchange = bool(bit_level_exchange)
-        self.early_termination = bool(early_termination)
-        trellis = DuoBinaryTrellis()
-        self._siso1 = BCJRDecoder(trellis, algorithm=algorithm, extrinsic_scale=extrinsic_scale)
-        self._siso2 = BCJRDecoder(trellis, algorithm=algorithm, extrinsic_scale=extrinsic_scale)
-        self._interleaver = encoder.interleaver
-        self._n_couples = encoder.n_couples
 
-    # ------------------------------------------------------------------ #
-    # Interleaving of symbol-level quantities
-    # ------------------------------------------------------------------ #
-    def _interleave_vectors(self, values: np.ndarray) -> np.ndarray:
-        """Reorder per-couple 4-vectors from natural to interleaved order.
+    # The tunables live on the inner batch decoder (which reads them on every
+    # decode), so mutating them after construction keeps working.
+    @property
+    def max_iterations(self) -> int:
+        """Maximum number of full turbo iterations per frame."""
+        return self._batch.max_iterations
 
-        The intra-couple swap of step 1 exchanges the roles of bits A and B,
-        which at symbol level exchanges elements 1 (A=0,B=1) and 2 (A=1,B=0).
-        """
-        perm = self._interleaver.permutation()
-        flags = self._interleaver.swap_flags().astype(bool)
-        reordered = values[perm].copy()
-        swapped_positions = flags[perm]
-        reordered[swapped_positions] = reordered[swapped_positions][:, [0, 2, 1, 3]]
-        return reordered
+    @max_iterations.setter
+    def max_iterations(self, value: int) -> None:
+        if int(value) <= 0:
+            raise DecodingError(f"max_iterations must be positive, got {value}")
+        self._batch.max_iterations = int(value)
 
-    def _deinterleave_vectors(self, values: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`_interleave_vectors`."""
-        perm = self._interleaver.permutation()
-        flags = self._interleaver.swap_flags().astype(bool)
-        natural = np.empty_like(values)
-        natural[perm] = values
-        natural[flags] = natural[flags][:, [0, 2, 1, 3]]
-        return natural
+    @property
+    def bit_level_exchange(self) -> bool:
+        """Exchange bit-level (BTS/STB) instead of symbol-level extrinsics."""
+        return self._batch.bit_level_exchange
 
-    def _interleave_pairs(self, values: np.ndarray) -> np.ndarray:
-        """Reorder per-couple (A, B) pairs from natural to interleaved order."""
-        perm = self._interleaver.permutation()
-        flags = self._interleaver.swap_flags().astype(bool)
-        reordered = values[perm].copy()
-        swapped_positions = flags[perm]
-        reordered[swapped_positions] = reordered[swapped_positions][:, ::-1]
-        return reordered
+    @bit_level_exchange.setter
+    def bit_level_exchange(self, value: bool) -> None:
+        self._batch.bit_level_exchange = bool(value)
 
-    def _maybe_bit_level(self, extrinsic: np.ndarray) -> np.ndarray:
-        """Apply the STB -> network -> BTS round trip when bit-level exchange is on."""
-        if not self.bit_level_exchange:
-            return extrinsic
-        return bit_to_symbol_extrinsic(symbol_to_bit_extrinsic(extrinsic))
+    @property
+    def early_termination(self) -> bool:
+        """Stop a frame once its hard decisions repeat across iterations."""
+        return self._batch.early_termination
+
+    @early_termination.setter
+    def early_termination(self, value: bool) -> None:
+        self._batch.early_termination = bool(value)
+
+    @property
+    def algorithm(self) -> str:
+        """``"max-log"`` or ``"log-map"``."""
+        return self._batch.algorithm
+
+    @property
+    def extrinsic_scale(self) -> float:
+        """Scaling factor applied to the extrinsic information."""
+        return self._batch.extrinsic_scale
 
     # ------------------------------------------------------------------ #
     # Decoding
@@ -139,56 +153,19 @@ class TurboDecoder:
         sys_llrs = np.asarray(systematic_llrs, dtype=np.float64)
         par1 = np.asarray(parity1_llrs, dtype=np.float64)
         par2 = np.asarray(parity2_llrs, dtype=np.float64)
-        expected = (self._n_couples, 2)
+        expected = (self.encoder.n_couples, 2)
         for name, arr in (("systematic", sys_llrs), ("parity1", par1), ("parity2", par2)):
             if arr.shape != expected:
                 raise DecodingError(f"{name} LLRs must have shape {expected}, got {arr.shape}")
-
-        sys_interleaved = self._interleave_pairs(sys_llrs)
-        ext_2_to_1 = np.zeros((self._n_couples, 4), dtype=np.float64)
-        alpha1 = beta1 = alpha2 = beta2 = None
-        previous_decision: np.ndarray | None = None
-        decision_changes: list[int] = []
-        converged = False
-        iterations_done = 0
-        hard_symbols = np.zeros(self._n_couples, dtype=np.int64)
-
-        for iteration in range(self.max_iterations):
-            result1 = self._siso1.decode(
-                sys_llrs, par1, apriori=ext_2_to_1, initial_alpha=alpha1, initial_beta=beta1
-            )
-            alpha1, beta1 = result1.final_alpha, result1.final_beta
-            ext_1_to_2 = self._interleave_vectors(self._maybe_bit_level(result1.extrinsic))
-
-            result2 = self._siso2.decode(
-                sys_interleaved,
-                par2,
-                apriori=ext_1_to_2,
-                initial_alpha=alpha2,
-                initial_beta=beta2,
-            )
-            alpha2, beta2 = result2.final_alpha, result2.final_beta
-            ext_2_to_1 = self._deinterleave_vectors(self._maybe_bit_level(result2.extrinsic))
-
-            aposteriori_natural = self._deinterleave_vectors(result2.aposteriori)
-            hard_symbols = np.argmax(aposteriori_natural, axis=1).astype(np.int64)
-            iterations_done = iteration + 1
-            if previous_decision is not None:
-                changes = int(np.count_nonzero(hard_symbols != previous_decision))
-                decision_changes.append(changes)
-                if changes == 0:
-                    converged = True
-                    if self.early_termination:
-                        break
-            previous_decision = hard_symbols.copy()
-
-        hard_bits = TurboEncoder.symbols_to_bits(hard_symbols)
+        result = self._batch.decode_split(
+            sys_llrs[None, :, :], par1[None, :, :], par2[None, :, :]
+        )
         return TurboDecoderResult(
-            hard_bits=hard_bits,
-            hard_symbols=hard_symbols,
-            iterations=iterations_done,
-            converged=converged,
-            decision_changes=decision_changes,
+            hard_bits=result.hard_bits[0],
+            hard_symbols=result.hard_symbols[0],
+            iterations=int(result.iterations[0]),
+            converged=bool(result.converged[0]),
+            decision_changes=list(result.decision_changes[0]),
         )
 
     # ------------------------------------------------------------------ #
@@ -201,22 +178,7 @@ class TurboDecoder:
         punctured W positions receive LLR 0.
         """
         arr = np.asarray(llrs, dtype=np.float64)
-        n = self._n_couples
-        if self.encoder.rate == "1/2":
-            expected_len = 4 * n
-        else:
-            expected_len = 6 * n
-        if arr.shape != (expected_len,):
-            raise DecodingError(
-                f"expected {expected_len} LLRs for rate {self.encoder.rate}, got {arr.shape}"
-            )
-        systematic = arr[: 2 * n].reshape(n, 2)
-        parity1 = np.zeros((n, 2), dtype=np.float64)
-        parity2 = np.zeros((n, 2), dtype=np.float64)
-        if self.encoder.rate == "1/2":
-            parity1[:, 0] = arr[2 * n : 3 * n]
-            parity2[:, 0] = arr[3 * n : 4 * n]
-        else:
-            parity1[:] = arr[2 * n : 4 * n].reshape(n, 2)
-            parity2[:] = arr[4 * n : 6 * n].reshape(n, 2)
-        return systematic, parity1, parity2
+        if arr.ndim != 1:
+            raise DecodingError(f"expected a flat LLR array, got shape {arr.shape}")
+        systematic, parity1, parity2 = self._batch.split_llrs_batch(arr[None, :])
+        return systematic[0], parity1[0], parity2[0]

@@ -157,3 +157,60 @@ class TurboEncoder:
         return TurboCodeword(
             systematic=systematic, parity1=parity1, parity2=parity2, rate=self.rate
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched encoding
+    # ------------------------------------------------------------------ #
+    def _encode_constituent_batch(self, symbols: np.ndarray) -> np.ndarray:
+        """Run one circular constituent encoder over ``(batch, n_couples)`` symbols.
+
+        The state recursion is sequential over couples by construction, but
+        every step advances the whole batch at once through the flat trellis
+        tables; returns ``(batch, n_couples, 2)`` parity bits.
+        """
+        start_state = self.trellis.circulation_states(symbols)
+        next_table = self.trellis.next_state_table()
+        parity_table = self.trellis.parity_table()
+        parity = np.empty((*symbols.shape, 2), dtype=np.int8)
+        state = start_state.copy()
+        for idx in range(symbols.shape[1]):
+            step_symbols = symbols[:, idx]
+            parity[:, idx] = parity_table[state, step_symbols]
+            state = next_table[state, step_symbols]
+        if np.any(state != start_state):
+            raise CodeDefinitionError(
+                "circular encoding did not return to the circulation state"
+            )
+        return parity
+
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode ``(batch, k)`` information bits into ``(batch, n)`` codewords.
+
+        The output rows follow the :meth:`TurboCodeword.to_bit_array` layout
+        (systematic bits, then the kept parity1 bits, then parity2), which is
+        what :class:`repro.sim.runner.BerRunner` transmits; a test pins this
+        against looped per-frame :meth:`encode` calls.
+        """
+        bits = np.asarray(info_bits, dtype=np.int64)
+        if bits.ndim != 2 or bits.shape[1] != self.k:
+            raise CodeDefinitionError(
+                f"expected a (batch, {self.k}) information-bit array, got shape {bits.shape}"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise CodeDefinitionError("information bits must be 0/1 values")
+        batch = bits.shape[0]
+        symbols = 2 * bits[:, 0::2] + bits[:, 1::2]  # (batch, n_couples)
+        parity1 = self._encode_constituent_batch(symbols)
+        parity2 = self._encode_constituent_batch(
+            self.interleaver.interleave_symbols(symbols)
+        )
+        n_couples = self.n_couples
+        out = np.empty((batch, self.n), dtype=np.int8)
+        out[:, : 2 * n_couples] = bits
+        if self.rate == "1/2":
+            out[:, 2 * n_couples : 3 * n_couples] = parity1[:, :, 0]
+            out[:, 3 * n_couples :] = parity2[:, :, 0]
+        else:
+            out[:, 2 * n_couples : 4 * n_couples] = parity1.reshape(batch, -1)
+            out[:, 4 * n_couples :] = parity2.reshape(batch, -1)
+        return out

@@ -99,8 +99,22 @@ class DuoBinaryTrellis:
         self._transitions = tuple(transitions)
         self._next_state = next_state
         self._parity = parity_bits
+        # Incoming edges per destination state, in flat (state, symbol) scan
+        # order: the recursive code gives every state exactly four of them.
+        in_state = np.zeros((NUM_STATES, NUM_SYMBOLS), dtype=np.int64)
+        in_symbol = np.zeros((NUM_STATES, NUM_SYMBOLS), dtype=np.int64)
+        fill = [0] * NUM_STATES
+        for state in range(NUM_STATES):
+            for symbol in range(NUM_SYMBOLS):
+                target = int(next_state[state, symbol])
+                in_state[target, fill[target]] = state
+                in_symbol[target, fill[target]] = symbol
+                fill[target] += 1
+        self._in_state = in_state
+        self._in_symbol = in_symbol
         # The state-update map is affine over GF(2)^3: s' = A s + B u.
         self._state_matrix = self._compute_state_matrix()
+        self._circulation_inverse_cache: dict[int, np.ndarray | None] = {}
 
     # ------------------------------------------------------------------ #
     # Structure queries
@@ -135,6 +149,17 @@ class DuoBinaryTrellis:
     def parity_table(self) -> np.ndarray:
         """The full ``(8, 4, 2)`` parity table (copy)."""
         return self._parity.copy()
+
+    def incoming_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat incoming-edge tables for the batched forward recursion.
+
+        Returns ``(in_state, in_symbol)``, each of shape ``(8, 4)``: entry
+        ``[t, i]`` is the source state / input symbol of the ``i``-th edge
+        arriving at state ``t``, in flat ``(state, symbol)`` scan order —
+        the same order the scatter in the sequential recursion visits, which
+        is what keeps the batched Log-MAP bit-identical.
+        """
+        return self._in_state.copy(), self._in_symbol.copy()
 
     # ------------------------------------------------------------------ #
     # Circular (tail-biting) state computation
@@ -174,24 +199,55 @@ class DuoBinaryTrellis:
             raise CodeDefinitionError("cannot compute a circulation state for an empty block")
         final_from_zero = self.zero_input_final_state(0, n_steps, symbols_arr)
         c_vec = np.array(_state_bits(final_from_zero), dtype=np.uint8)
-        a_pow = np.eye(3, dtype=np.uint8)
-        base = self._state_matrix
-        exponent = n_steps
-        power = base.copy()
-        while exponent:
-            if exponent & 1:
-                a_pow = (a_pow @ power) % 2
-            power = (power @ power) % 2
-            exponent >>= 1
-        m = (np.eye(3, dtype=np.uint8) + a_pow) % 2
-        m_inv = _gf2_invert_3x3(m)
+        m_inv = self._circulation_inverse(n_steps)
+        s_c = (m_inv @ c_vec) % 2
+        return _bits_state(int(s_c[0]), int(s_c[1]), int(s_c[2]))
+
+    def circulation_states(self, symbols: np.ndarray) -> np.ndarray:
+        """Batched :meth:`circulation_state` over ``(batch, n_steps)`` blocks.
+
+        All frames share one block length, so ``(I + A^N)^{-1}`` is computed
+        once and applied to every frame's zero-start final state at once.
+        """
+        arr = np.asarray(symbols, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] == 0:
+            raise CodeDefinitionError(
+                f"expected a (batch, n_steps) symbol array with n_steps > 0, got shape {arr.shape}"
+            )
+        state = np.zeros(arr.shape[0], dtype=np.int64)
+        for step in range(arr.shape[1]):
+            state = self._next_state[state, arr[:, step]]
+        c_bits = np.stack(
+            [(state >> 2) & 1, (state >> 1) & 1, state & 1], axis=1
+        ).astype(np.uint8)
+        m_inv = self._circulation_inverse(arr.shape[1])
+        s_c = (c_bits @ m_inv.T) % 2
+        return (
+            (s_c[:, 0].astype(np.int64) << 2)
+            | (s_c[:, 1].astype(np.int64) << 1)
+            | s_c[:, 2].astype(np.int64)
+        )
+
+    def _circulation_inverse(self, n_steps: int) -> np.ndarray:
+        """``(I + A^n_steps)^{-1}`` over GF(2), cached per block length."""
+        if n_steps not in self._circulation_inverse_cache:
+            a_pow = np.eye(3, dtype=np.uint8)
+            power = self._state_matrix.copy()
+            exponent = n_steps
+            while exponent:
+                if exponent & 1:
+                    a_pow = (a_pow @ power) % 2
+                power = (power @ power) % 2
+                exponent >>= 1
+            m = (np.eye(3, dtype=np.uint8) + a_pow) % 2
+            self._circulation_inverse_cache[n_steps] = _gf2_invert_3x3(m)
+        m_inv = self._circulation_inverse_cache[n_steps]
         if m_inv is None:
             raise CodeDefinitionError(
                 f"block length {n_steps} is a multiple of the trellis period; "
                 "no circulation state exists"
             )
-        s_c = (m_inv @ c_vec) % 2
-        return _bits_state(int(s_c[0]), int(s_c[1]), int(s_c[2]))
+        return m_inv
 
 
 def _gf2_invert_3x3(matrix: np.ndarray) -> np.ndarray | None:
