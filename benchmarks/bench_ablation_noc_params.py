@@ -6,6 +6,10 @@ architecture.  This bench sweeps each knob around the WiMAX design point and
 prints its effect on ncycles / throughput / FIFO sizing, reproducing the
 sensitivity discussion that justifies the paper's chosen configuration
 (RL = 0, SCM, R = 0.5, SSP-FL).
+
+All points run through the struct-of-arrays engine sweep driver
+(:func:`repro.noc.engine.run_noc_sweep`), seeded with the decoder's already
+built topology and routing tables so nothing is recomputed per knob.
 """
 
 from __future__ import annotations
@@ -16,13 +20,27 @@ import pytest
 
 from repro import DecoderSpec, NocDecoderArchitecture, wimax_ldpc_code
 from repro.core.throughput import ldpc_throughput_bps
-from repro.noc import CollisionPolicy, NocConfiguration, NocSimulator, RoutingAlgorithm
+from repro.noc import CollisionPolicy, NocSweepJob, RoutingAlgorithm, run_noc_sweep
 from repro.utils import Table
 
 
-def _design_point_simulation(config: NocConfiguration, mapping, topology, tables, seed=0):
-    simulator = NocSimulator(topology, config, routing_tables=tables, seed=seed)
-    return simulator.run(mapping.traffic)
+def _sweep(decoder: NocDecoderArchitecture, traffic, configs, seed=0):
+    """Run one traffic pattern under many configurations via the sweep driver."""
+    spec = decoder.spec
+    key = (spec.topology_family, spec.parallelism, spec.degree)
+    cache = {key: (decoder.topology, decoder.routing_tables)}
+    jobs = [
+        NocSweepJob(
+            family=spec.topology_family,
+            parallelism=spec.parallelism,
+            degree=spec.degree,
+            config=config,
+            traffic=traffic,
+            seed=seed,
+        )
+        for config in configs
+    ]
+    return run_noc_sweep(jobs, topology_cache=cache)
 
 
 def _throughput(spec: DecoderSpec, code, ncycles: int) -> float:
@@ -42,28 +60,18 @@ def test_ablation_injection_rate_and_flags(benchmark, bench_print, bench_json):
     code = wimax_ldpc_code(2304, "1/2")
     decoder = NocDecoderArchitecture(spec)
     mapping = decoder.map_ldpc(code)
-    topology = decoder.topology
-    tables = decoder.routing_tables
+
+    base = spec.noc
+    labels_and_configs = [
+        *((f"R = {rate}", replace(base, injection_rate=rate)) for rate in (0.25, 0.5, 1.0)),
+        *((f"RL = {int(rl)}", replace(base, route_local=rl)) for rl in (False, True)),
+        *((policy.value, replace(base, collision_policy=policy))
+          for policy in (CollisionPolicy.SCM, CollisionPolicy.DCM)),
+    ]
 
     def run_all():
-        rows = []
-        base = spec.noc
-        # R sweep.
-        for rate in (0.25, 0.5, 1.0):
-            config = replace(base, injection_rate=rate)
-            sim = _design_point_simulation(config, mapping, topology, tables)
-            rows.append((f"R = {rate}", sim))
-        # RL sweep.
-        for route_local in (False, True):
-            config = replace(base, route_local=route_local)
-            sim = _design_point_simulation(config, mapping, topology, tables)
-            rows.append((f"RL = {int(route_local)}", sim))
-        # Collision policy sweep.
-        for policy in (CollisionPolicy.SCM, CollisionPolicy.DCM):
-            config = replace(base, collision_policy=policy)
-            sim = _design_point_simulation(config, mapping, topology, tables)
-            rows.append((policy.value, sim))
-        return rows
+        sims = _sweep(decoder, mapping.traffic, [c for _, c in labels_and_configs])
+        return list(zip([label for label, _ in labels_and_configs], sims))
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -113,16 +121,17 @@ def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print, bench_js
     decoder = NocDecoderArchitecture(spec)
     mapping = decoder.map_ldpc(code)
     topology = decoder.topology
-    tables = decoder.routing_tables
+
+    algorithms = (RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT)
 
     def run_all():
         from repro.hw.area import NocAreaModel
 
         area_model = NocAreaModel()
+        configs = [spec.noc.with_routing(algorithm) for algorithm in algorithms]
+        sims = _sweep(decoder, mapping.traffic, configs)
         rows = []
-        for algorithm in (RoutingAlgorithm.SSP_RR, RoutingAlgorithm.SSP_FL, RoutingAlgorithm.ASP_FT):
-            config = spec.noc.with_routing(algorithm)
-            sim = _design_point_simulation(config, mapping, topology, tables)
+        for algorithm, config, sim in zip(algorithms, configs, sims):
             area = area_model.noc_area_mm2(
                 topology.n_nodes, topology.crossbar_size, config, sim.per_node_max_fifo
             )

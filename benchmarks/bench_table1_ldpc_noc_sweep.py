@@ -7,6 +7,10 @@ across NoC topologies, parallelism degrees and routing algorithms
 The default grid covers every topology group of the paper at two parallelism
 degrees (16 and 32); set ``REPRO_BENCH_FULL=1`` to sweep the paper's full
 P in {16, 24, 32, 36} grid.
+
+The sweep runs through the struct-of-arrays NoC cycle engine
+(:mod:`repro.noc.engine`), with topologies, routing tables and code mappings
+shared across the grid by :class:`~repro.core.design_flow.DesignSpaceExplorer`.
 """
 
 from __future__ import annotations

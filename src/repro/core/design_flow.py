@@ -10,6 +10,11 @@ maps the target code on every point (graph partitioning + equivalent
 interleaver), runs the cycle-accurate simulation and reports, per point,
 ``ncycles``, throughput (eq. (12)), NoC area and FIFO sizing — exactly the
 quantities tabulated in the paper's Table I.
+
+Simulation goes through the struct-of-arrays cycle engine
+(:class:`~repro.noc.engine.BatchNocSimulator`); topologies, routing tables
+and code mappings are each built once per sweep and shared across all the
+points that reuse them.
 """
 
 from __future__ import annotations
@@ -24,9 +29,9 @@ from repro.ldpc.wimax import WimaxLdpcCode
 from repro.mapping.ldpc_mapping import map_ldpc_code
 from repro.mapping.turbo_mapping import map_turbo_code
 from repro.noc.config import RoutingAlgorithm
-from repro.noc.routing import build_routing_tables
-from repro.noc.simulator import NocSimulator
-from repro.noc.topologies import build_topology
+from repro.noc.engine import BatchNocSimulator
+from repro.noc.routing import RoutingTables, build_routing_tables
+from repro.noc.topologies import Topology, build_topology
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,21 @@ class DesignSpaceExplorer:
         # sweep (the paper's flow likewise partitions once per (code, P) pair).
         self._ldpc_mapping_cache: dict[tuple[int, str, int], object] = {}
         self._turbo_mapping_cache: dict[tuple[int, int], object] = {}
+        # Topologies and routing tables are shared across every sweep point
+        # that uses the same graph (three routing algorithms per cell in the
+        # Table-I grid), mirroring the engine sweep driver's cache.
+        self._graph_cache: dict[
+            tuple[str, int | None, int], tuple[Topology, RoutingTables]
+        ] = {}
+
+    def _cached_graph(
+        self, family: str, degree: int | None, parallelism: int
+    ) -> tuple[Topology, RoutingTables]:
+        key = (family, degree, parallelism)
+        if key not in self._graph_cache:
+            topology = build_topology(family, parallelism, degree)
+            self._graph_cache[key] = (topology, build_routing_tables(topology))
+        return self._graph_cache[key]
 
     def _cached_ldpc_mapping(self, code: WimaxLdpcCode, parallelism: int):
         key = (code.n, code.rate_name, parallelism)
@@ -109,10 +129,11 @@ class DesignSpaceExplorer:
         """Map, simulate and cost one LDPC design point."""
         spec = self.base_spec
         config = spec.noc.with_routing(routing_algorithm)
-        topology = build_topology(topology_family, parallelism, degree)
-        tables = build_routing_tables(topology)
+        topology, tables = self._cached_graph(topology_family, degree, parallelism)
         mapping = self._cached_ldpc_mapping(code, parallelism)
-        simulator = NocSimulator(topology, config, routing_tables=tables, seed=self.seed)
+        simulator = BatchNocSimulator(
+            topology, config, routing_tables=tables, seed=self.seed
+        )
         result = simulator.run(mapping.traffic)
         throughput = ldpc_throughput_bps(
             info_bits=code.k,
@@ -153,10 +174,11 @@ class DesignSpaceExplorer:
         """Map, simulate and cost one turbo design point."""
         spec = self.base_spec
         config = spec.noc.with_routing(routing_algorithm)
-        topology = build_topology(topology_family, parallelism, degree)
-        tables = build_routing_tables(topology)
+        topology, tables = self._cached_graph(topology_family, degree, parallelism)
         mapping = self._cached_turbo_mapping(n_couples, parallelism)
-        simulator = NocSimulator(topology, config, routing_tables=tables, seed=self.seed)
+        simulator = BatchNocSimulator(
+            topology, config, routing_tables=tables, seed=self.seed
+        )
         result = simulator.run(mapping.traffic_forward)
         throughput = turbo_throughput_bps(
             info_bits=2 * n_couples,

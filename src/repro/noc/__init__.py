@@ -13,9 +13,12 @@ This package reproduces the intra-IP NoC studied in Section III of the paper:
 * :mod:`~repro.noc.node` — the routing element of Fig. 1 (F x F crossbar,
   input FIFOs, output registers) plus the PE injection port,
 * :mod:`~repro.noc.traffic` — per-PE ordered message lists (the "equivalent
-  interleaver" view of a decoding iteration),
-* :mod:`~repro.noc.simulator` — the cycle-accurate simulator that measures
-  ``ncycles`` and FIFO occupancies for a given configuration.
+  interleaver" view of a decoding iteration) and seeded synthetic generators,
+* :mod:`~repro.noc.engine` — the struct-of-arrays cycle engine
+  (:class:`BatchNocSimulator`) and the multi-point sweep driver
+  (:func:`run_noc_sweep`) that measure ``ncycles`` and FIFO occupancies,
+* :mod:`~repro.noc.simulator` — the public :class:`NocSimulator` facade plus
+  the per-object :class:`ReferenceNocSimulator` the engine is pinned against.
 """
 
 from repro.noc.topologies import (
@@ -39,8 +42,20 @@ from repro.noc.config import (
 )
 from repro.noc.message import Message
 from repro.noc.fifo import MessageFifo
-from repro.noc.traffic import NodeTraffic, TrafficPattern
-from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.traffic import (
+    NodeTraffic,
+    TrafficPattern,
+    random_traffic,
+    random_traffic_streams,
+)
+from repro.noc.engine import (
+    BatchNocSimulator,
+    MessageArrays,
+    NocSweepJob,
+    run_noc_sweep,
+)
+from repro.noc.results import SimulationResult
+from repro.noc.simulator import NocSimulator, ReferenceNocSimulator
 
 __all__ = [
     "Topology",
@@ -63,6 +78,13 @@ __all__ = [
     "MessageFifo",
     "TrafficPattern",
     "NodeTraffic",
+    "random_traffic",
+    "random_traffic_streams",
+    "BatchNocSimulator",
+    "MessageArrays",
+    "NocSweepJob",
+    "run_noc_sweep",
     "NocSimulator",
+    "ReferenceNocSimulator",
     "SimulationResult",
 ]

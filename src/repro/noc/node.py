@@ -18,6 +18,7 @@ The routing / arbitration policies of the paper are implemented here:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.noc.config import CollisionPolicy, NocConfiguration, RoutingAlgorithm
 from repro.noc.fifo import MessageFifo
 from repro.noc.message import Message
 from repro.noc.routing import RoutingTables
+from repro.utils.rng import bounded_draw
 
 
 @dataclass
@@ -53,7 +55,11 @@ class RouterNode:
     tables:
         Precomputed routing tables shared by all nodes.
     rng:
-        Generator used only by the SCM deflection choice.
+        Source of the SCM deflection randomness: either a
+        :class:`random.Random` (the simulators' choice — drawn through
+        :func:`~repro.utils.rng.bounded_draw` over its ``getrandbits``, the
+        stream the vectorized engine reproduces bit-exactly) or a
+        :class:`numpy.random.Generator`.
     """
 
     def __init__(
@@ -63,7 +69,7 @@ class RouterNode:
         in_degree: int,
         config: NocConfiguration,
         tables: RoutingTables,
-        rng: np.random.Generator,
+        rng: random.Random | np.random.Generator,
     ):
         self.node_id = node_id
         self.out_degree = out_degree
@@ -71,6 +77,11 @@ class RouterNode:
         self.config = config
         self.tables = tables
         self._rng = rng
+        if isinstance(rng, random.Random):
+            getrandbits = rng.getrandbits
+            self._draw = lambda n: bounded_draw(getrandbits, n)
+        else:
+            self._draw = lambda n: int(rng.integers(0, n))
         # Input side: one FIFO per incoming link plus the PE injection FIFO.
         self.input_fifos = [
             MessageFifo(config.fifo_capacity, name=f"node{node_id}.in{port}")
@@ -162,8 +173,7 @@ class RouterNode:
         if self.config.collision_policy is not CollisionPolicy.SCM or not free_ports:
             return None
         ports = sorted(free_ports)
-        index = int(self._rng.integers(0, len(ports)))
-        return ports[index]
+        return ports[self._draw(len(ports))]
 
     def record_send(self, output_port: int) -> None:
         """Update the traffic-spreading statistic after a message leaves."""

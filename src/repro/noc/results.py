@@ -1,0 +1,44 @@
+"""Measurement record of one simulated message-passing phase.
+
+:class:`SimulationResult` is produced by both NoC simulators — the
+struct-of-arrays cycle engine (:mod:`repro.noc.engine`) and the per-object
+reference simulator (:mod:`repro.noc.simulator`) — and consumed by the
+design-flow, analysis and area layers.  It lives in its own module so the
+engine and the facade can share it without circular imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.message import MessageStatistics
+
+
+@dataclass
+class SimulationResult:
+    """Measurements of one simulated message-passing phase."""
+
+    ncycles: int
+    total_messages: int
+    delivered_messages: int
+    local_bypassed: int
+    max_fifo_occupancy: int
+    max_injection_occupancy: int
+    per_node_max_fifo: list[int] = field(default_factory=list)
+    statistics: MessageStatistics = field(default_factory=MessageStatistics)
+    link_utilization: float = 0.0
+    config_label: str = ""
+    topology_label: str = ""
+    traffic_label: str = ""
+
+    @property
+    def all_delivered(self) -> bool:
+        """True when every message reached its destination."""
+        return self.delivered_messages == self.total_messages
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        return (
+            f"{self.topology_label} | {self.config_label} | ncycles={self.ncycles} "
+            f"max_fifo={self.max_fifo_occupancy} mean_lat={self.statistics.mean_latency:.1f}"
+        )

@@ -62,6 +62,49 @@ class RoutingTables:
             raise RoutingError(f"no route from node {node} to node {dest}")
         return ports
 
+    # ------------------------------------------------------------------ #
+    # Dense (struct-of-arrays) views used by the vectorized cycle engine
+    # ------------------------------------------------------------------ #
+    def _dense_views(self) -> dict[str, np.ndarray]:
+        """Build (once) dense array views of the per-pair port tuples."""
+        cached = self.__dict__.get("_dense_cache")
+        if cached is not None:
+            return cached
+        n = self.topology.n_nodes
+        max_ports = 1
+        for node in range(n):
+            for dest in range(n):
+                max_ports = max(max_ports, len(self.next_ports[node][dest]))
+        single = np.full((n, n), -1, dtype=np.int64)
+        padded = np.full((n, n, max_ports), -1, dtype=np.int64)
+        counts = np.zeros((n, n), dtype=np.int64)
+        for node in range(n):
+            for dest in range(n):
+                ports = self.next_ports[node][dest]
+                if not ports:
+                    continue
+                single[node, dest] = ports[0]
+                counts[node, dest] = len(ports)
+                padded[node, dest, : len(ports)] = ports
+        views = {"single": single, "padded": padded, "counts": counts}
+        object.__setattr__(self, "_dense_cache", views)
+        return views
+
+    @property
+    def next_port_matrix(self) -> np.ndarray:
+        """``(P, P)`` SSP next-hop output port per (node, dest); -1 on the diagonal."""
+        return self._dense_views()["single"]
+
+    @property
+    def all_ports_matrix(self) -> np.ndarray:
+        """``(P, P, Kmax)`` every shortest-path output port per pair, -1 padded."""
+        return self._dense_views()["padded"]
+
+    @property
+    def port_count_matrix(self) -> np.ndarray:
+        """``(P, P)`` number of shortest-path output ports per (node, dest)."""
+        return self._dense_views()["counts"]
+
     @property
     def diameter(self) -> int:
         """Largest shortest-path distance between any node pair."""

@@ -1,9 +1,19 @@
 """Cycle-accurate simulation of the message-passing phase.
 
-The simulator advances the NoC one clock cycle at a time until every message
-of a :class:`~repro.noc.traffic.TrafficPattern` has been delivered to its
-destination PE memory, reproducing the behaviour of the SystemC "Turbo NoC"
-tool the paper relies on.  Per cycle:
+Two implementations share one contract:
+
+* :class:`ReferenceNocSimulator` — the original per-object simulator that
+  walks Python :class:`~repro.noc.node.RouterNode` / ``MessageFifo`` /
+  ``Message`` graphs one cycle at a time.  It is kept as the executable
+  specification: slow but transparently close to the SystemC "Turbo NoC"
+  tool the paper relies on.
+* :class:`~repro.noc.engine.BatchNocSimulator` — the struct-of-arrays cycle
+  engine, pinned cycle-exact against the reference by
+  ``tests/test_noc_engine.py``.
+
+:class:`NocSimulator` is the public entry point: a thin facade that keeps the
+historical constructor and delegates to the engine at sweep size 1.  Per
+cycle, either implementation performs:
 
 1. link arrivals scheduled on the previous cycle are pushed into the
    destination node's input FIFOs;
@@ -22,52 +32,27 @@ area model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+import random
 
 from repro.errors import SimulationError
 from repro.noc.config import CollisionPolicy, NocConfiguration
+from repro.noc.engine import BatchNocSimulator
 from repro.noc.message import Message, MessageStatistics
 from repro.noc.node import RouterNode
+from repro.noc.results import SimulationResult
 from repro.noc.routing import RoutingTables, build_routing_tables
 from repro.noc.topologies import Topology
 from repro.noc.traffic import TrafficPattern
-from repro.utils.rng import make_rng
 
-
-@dataclass
-class SimulationResult:
-    """Measurements of one simulated message-passing phase."""
-
-    ncycles: int
-    total_messages: int
-    delivered_messages: int
-    local_bypassed: int
-    max_fifo_occupancy: int
-    max_injection_occupancy: int
-    per_node_max_fifo: list[int] = field(default_factory=list)
-    statistics: MessageStatistics = field(default_factory=MessageStatistics)
-    link_utilization: float = 0.0
-    config_label: str = ""
-    topology_label: str = ""
-    traffic_label: str = ""
-
-    @property
-    def all_delivered(self) -> bool:
-        """True when every message reached its destination."""
-        return self.delivered_messages == self.total_messages
-
-    def describe(self) -> str:
-        """One-line summary used by reports and examples."""
-        return (
-            f"{self.topology_label} | {self.config_label} | ncycles={self.ncycles} "
-            f"max_fifo={self.max_fifo_occupancy} mean_lat={self.statistics.mean_latency:.1f}"
-        )
+__all__ = ["SimulationResult", "NocSimulator", "ReferenceNocSimulator"]
 
 
 class NocSimulator:
     """Cycle-accurate simulator for one (topology, configuration) pair.
+
+    Thin facade over the struct-of-arrays engine
+    (:class:`~repro.noc.engine.BatchNocSimulator`) at sweep size 1; results
+    are cycle-exact with :class:`ReferenceNocSimulator`.
 
     Parameters
     ----------
@@ -81,6 +66,40 @@ class NocSimulator:
         Seed for the SCM deflection randomness.
     max_cycles:
         Hard safety bound on the simulated cycle count.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: NocConfiguration,
+        routing_tables: RoutingTables | None = None,
+        seed: int = 0,
+        max_cycles: int = 200_000,
+    ):
+        self._engine = BatchNocSimulator(
+            topology,
+            config,
+            routing_tables=routing_tables,
+            seed=seed,
+            max_cycles=max_cycles,
+        )
+        self.topology = topology
+        self.config = config
+        self.tables = self._engine.tables
+        self.seed = seed
+        self.max_cycles = max_cycles
+
+    def run(self, traffic: TrafficPattern) -> SimulationResult:
+        """Simulate one message-passing phase and return its measurements."""
+        return self._engine.run(traffic)
+
+
+class ReferenceNocSimulator:
+    """Per-object reference simulator (the executable specification).
+
+    Same constructor and :meth:`run` contract as :class:`NocSimulator`; the
+    differential harness in ``tests/test_noc_engine.py`` pins the engine
+    against this implementation cycle-exactly.
     """
 
     def __init__(
@@ -113,7 +132,11 @@ class NocSimulator:
                 f"traffic references {traffic.n_nodes} nodes but the topology has "
                 f"{self.topology.n_nodes}"
             )
-        rng = make_rng(self.seed)
+        # One shared deflection stream for all nodes, drawn in node/serving
+        # order.  random.Random is used (rather than a NumPy generator)
+        # because its single-value randrange draw is several times cheaper
+        # and the stream is equally deterministic per seed.
+        rng = random.Random(self.seed)
         nodes = [
             RouterNode(
                 node_id=node,

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import TopologyError
 
 
@@ -105,6 +107,72 @@ class Topology:
     def n_arcs(self) -> int:
         """Number of directed arcs (unidirectional physical links)."""
         return len(self.arcs)
+
+    # ------------------------------------------------------------------ #
+    # Dense (struct-of-arrays) views used by the vectorized cycle engine
+    # ------------------------------------------------------------------ #
+    def _dense_views(self) -> dict[str, np.ndarray]:
+        """Build (once) the dense port-indexed arrays describing this graph."""
+        cached = self.__dict__.get("_dense_cache")
+        if cached is not None:
+            return cached
+        n = self.n_nodes
+        max_out = max((len(self._out_ports[v]) for v in range(n)), default=0)
+        max_in = max((len(self._in_ports[v]) for v in range(n)), default=0)
+        out_degrees = np.zeros(n, dtype=np.int64)
+        in_degrees = np.zeros(n, dtype=np.int64)
+        out_neighbor = np.full((n, max(max_out, 1)), -1, dtype=np.int64)
+        in_source = np.full((n, max(max_in, 1)), -1, dtype=np.int64)
+        # (node, out port) -> input-port index at the reached neighbour.  The
+        # input-port number of an arc is its position in the destination's
+        # in_arcs list, mirroring how the simulators wire FIFOs to links.
+        dest_input_port = np.full((n, max(max_out, 1)), -1, dtype=np.int64)
+        arc_input_port: dict[int, int] = {}
+        for node in range(n):
+            in_degrees[node] = len(self._in_ports[node])
+            for input_port, (arc_index, source) in enumerate(self._in_ports[node]):
+                in_source[node, input_port] = source
+                arc_input_port[arc_index] = input_port
+        for node in range(n):
+            out_degrees[node] = len(self._out_ports[node])
+            for out_port, (arc_index, neighbor) in enumerate(self._out_ports[node]):
+                out_neighbor[node, out_port] = neighbor
+                dest_input_port[node, out_port] = arc_input_port[arc_index]
+        views = {
+            "out_degrees": out_degrees,
+            "in_degrees": in_degrees,
+            "out_neighbor": out_neighbor,
+            "in_source": in_source,
+            "dest_input_port": dest_input_port,
+        }
+        object.__setattr__(self, "_dense_cache", views)
+        return views
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """``(P,)`` out-degree of every node."""
+        return self._dense_views()["out_degrees"]
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """``(P,)`` in-degree of every node."""
+        return self._dense_views()["in_degrees"]
+
+    @property
+    def out_neighbor_matrix(self) -> np.ndarray:
+        """``(P, Dmax)`` neighbour reached through each output port (-1 pad)."""
+        return self._dense_views()["out_neighbor"]
+
+    @property
+    def in_source_matrix(self) -> np.ndarray:
+        """``(P, Dmax_in)`` source node feeding each input port (-1 pad)."""
+        return self._dense_views()["in_source"]
+
+    @property
+    def dest_input_port_matrix(self) -> np.ndarray:
+        """``(P, Dmax)`` input-port index at the neighbour reached through each
+        output port (-1 pad) — the link-to-FIFO wiring of the cycle engine."""
+        return self._dense_views()["dest_input_port"]
 
     def is_strongly_connected(self) -> bool:
         """True when every node can reach every other node."""

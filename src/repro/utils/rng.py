@@ -20,6 +20,23 @@ def make_rng(seed: int | None = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def bounded_draw(getrandbits, n: int) -> int:
+    """Uniform integer in ``[0, n)`` by rejection over ``n.bit_length()`` bits.
+
+    This is the NoC simulators' *defined* deflection-draw algorithm, written
+    against :meth:`random.Random.getrandbits` (Mersenne Twister, reproducible
+    across Python versions).  Both the object reference simulator and the
+    struct-of-arrays engine consume bits through this exact procedure — the
+    engine inlines it in its hot loop — so their deflection streams coincide
+    bit for bit for a given seed.
+    """
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+    return r
+
+
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from one seed.
 

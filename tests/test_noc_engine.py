@@ -1,0 +1,285 @@
+"""Differential harness: the SoA cycle engine vs the object reference simulator.
+
+The struct-of-arrays engine (:class:`repro.noc.engine.BatchNocSimulator`) must
+be *cycle-exact* against the per-object reference
+(:class:`repro.noc.simulator.ReferenceNocSimulator`): same ncycles, delivered
+counts, per-node maximum FIFO occupancies, hop/latency totals and SCM
+deflection decisions for any (topology, configuration, traffic, seed).  The
+hypothesis suite below drives randomized configurations x seeded traffic
+through both simulators and compares every observable, including the
+both-raise behaviour under deadlocking capacities.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.noc import (
+    BatchNocSimulator,
+    CollisionPolicy,
+    MessageArrays,
+    NocConfiguration,
+    NocSimulator,
+    NocSweepJob,
+    ReferenceNocSimulator,
+    RoutingAlgorithm,
+    build_routing_tables,
+    build_topology,
+    random_traffic,
+    run_noc_sweep,
+)
+
+# Topology specs kept small so one differential case stays ~milliseconds.
+TOPOLOGY_SPECS = [
+    ("generalized-kautz", 8, 3),
+    ("generalized-kautz", 10, 2),
+    ("generalized-de-bruijn", 9, 2),
+    ("ring", 6, None),
+    ("spidergon", 8, None),
+    ("mesh", 9, None),
+    ("honeycomb", 8, None),
+    ("toroidal-mesh", 9, None),
+]
+
+_TOPOLOGY_CACHE: dict = {}
+
+
+def _topology_and_tables(spec):
+    if spec not in _TOPOLOGY_CACHE:
+        topology = build_topology(*spec)
+        _TOPOLOGY_CACHE[spec] = (topology, build_routing_tables(topology))
+    return _TOPOLOGY_CACHE[spec]
+
+
+def _observables(result):
+    """Every measurement the engine must reproduce exactly."""
+    return {
+        "ncycles": result.ncycles,
+        "total": result.total_messages,
+        "delivered": result.delivered_messages,
+        "bypassed": result.local_bypassed,
+        "max_fifo": result.max_fifo_occupancy,
+        "max_injection": result.max_injection_occupancy,
+        "per_node_max_fifo": list(result.per_node_max_fifo),
+        "link_utilization": result.link_utilization,
+        "count": result.statistics.count,
+        "total_latency": result.statistics.total_latency,
+        "max_latency": result.statistics.max_latency,
+        "total_hops": result.statistics.total_hops,
+        "misrouted": result.statistics.misrouted,
+        "mean_latency": result.statistics.mean_latency,
+        "p95_latency": result.statistics.latency_percentile(95),
+        "describe": result.describe(),
+    }
+
+
+config_strategy = st.builds(
+    NocConfiguration,
+    routing_algorithm=st.sampled_from(list(RoutingAlgorithm)),
+    collision_policy=st.sampled_from(list(CollisionPolicy)),
+    injection_rate=st.sampled_from([0.25, 0.4, 0.5, 0.75, 1.0]),
+    route_local=st.booleans(),
+    fifo_capacity=st.sampled_from([2, 3, 5, 4096]),
+)
+
+
+class TestDifferentialEngineVsReference:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        spec=st.sampled_from(TOPOLOGY_SPECS),
+        config=config_strategy,
+        traffic_seed=st.integers(0, 2**20),
+        messages_per_node=st.integers(0, 25),
+        sim_seed=st.integers(0, 2**20),
+    )
+    def test_engine_matches_reference_cycle_exactly(
+        self, spec, config, traffic_seed, messages_per_node, sim_seed
+    ):
+        """>= 50 randomized config x seed cases must agree on every observable."""
+        topology, tables = _topology_and_tables(spec)
+        traffic = random_traffic(topology.n_nodes, messages_per_node, seed=traffic_seed)
+        reference = ReferenceNocSimulator(
+            topology, config, routing_tables=tables, seed=sim_seed, max_cycles=30_000
+        )
+        engine = BatchNocSimulator(
+            topology, config, routing_tables=tables, seed=sim_seed, max_cycles=30_000
+        )
+        try:
+            expected = _observables(reference.run(traffic))
+            reference_raised = False
+        except SimulationError:
+            reference_raised = True
+        if reference_raised:
+            # Tight capacities can deadlock (DCM cyclic waits); the engine
+            # must diverge in exactly the same way.
+            with pytest.raises(SimulationError):
+                engine.run(traffic)
+            return
+        assert _observables(engine.run(traffic)) == expected
+
+    @pytest.mark.parametrize("spec", TOPOLOGY_SPECS)
+    @pytest.mark.parametrize("algorithm", list(RoutingAlgorithm))
+    def test_engine_matches_reference_on_default_config(self, spec, algorithm):
+        """Dense deterministic grid at the paper's default configuration."""
+        topology, tables = _topology_and_tables(spec)
+        config = NocConfiguration().with_routing(algorithm)
+        traffic = random_traffic(topology.n_nodes, 20, seed=7)
+        expected = _observables(
+            ReferenceNocSimulator(topology, config, routing_tables=tables, seed=3).run(
+                traffic
+            )
+        )
+        actual = _observables(
+            BatchNocSimulator(topology, config, routing_tables=tables, seed=3).run(
+                traffic
+            )
+        )
+        assert actual == expected
+
+    def test_engine_matches_reference_on_hotspot_traffic(self):
+        """All nodes hammering node 0 maximizes contention and deflections."""
+        from repro.noc import NodeTraffic, TrafficPattern
+
+        topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
+        per = tuple(
+            NodeTraffic(node=n, destinations=(0,) * 20, memory_locations=tuple(range(20)))
+            for n in range(8)
+        )
+        traffic = TrafficPattern(n_nodes=8, per_node=per, label="hotspot")
+        for policy in CollisionPolicy:
+            config = NocConfiguration(collision_policy=policy)
+            expected = _observables(
+                ReferenceNocSimulator(topology, config, routing_tables=tables, seed=1).run(traffic)
+            )
+            actual = _observables(
+                BatchNocSimulator(topology, config, routing_tables=tables, seed=1).run(traffic)
+            )
+            assert actual == expected
+
+    def test_engine_matches_reference_on_empty_traffic(self):
+        topology, tables = _topology_and_tables(("ring", 6, None))
+        traffic = random_traffic(6, 0, seed=0)
+        config = NocConfiguration()
+        ref = ReferenceNocSimulator(topology, config, routing_tables=tables).run(traffic)
+        eng = BatchNocSimulator(topology, config, routing_tables=tables).run(traffic)
+        assert _observables(eng) == _observables(ref)
+        assert eng.ncycles == 0
+
+
+class TestEngineContract:
+    def test_rejects_node_count_mismatch(self):
+        topology, tables = _topology_and_tables(("ring", 6, None))
+        with pytest.raises(SimulationError):
+            BatchNocSimulator(topology, NocConfiguration(), routing_tables=tables).run(
+                random_traffic(4, 5)
+            )
+
+    def test_rejects_foreign_routing_tables(self):
+        topology, _ = _topology_and_tables(("ring", 6, None))
+        _, other_tables = _topology_and_tables(("spidergon", 8, None))
+        with pytest.raises(SimulationError):
+            BatchNocSimulator(topology, NocConfiguration(), routing_tables=other_tables)
+
+    def test_rejects_bad_max_cycles(self):
+        topology, tables = _topology_and_tables(("ring", 6, None))
+        with pytest.raises(SimulationError):
+            BatchNocSimulator(
+                topology, NocConfiguration(), routing_tables=tables, max_cycles=0
+            )
+
+    def test_max_cycles_guard_raises(self):
+        topology, tables = _topology_and_tables(("ring", 6, None))
+        simulator = BatchNocSimulator(
+            topology, NocConfiguration(), routing_tables=tables, max_cycles=2
+        )
+        with pytest.raises(SimulationError):
+            simulator.run(random_traffic(6, 30, seed=2))
+
+    def test_seed_override_matches_fresh_engine(self):
+        topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
+        config = NocConfiguration()
+        traffic = random_traffic(8, 20, seed=5)
+        shared = BatchNocSimulator(topology, config, routing_tables=tables, seed=0)
+        for seed in (0, 1, 17):
+            fresh = BatchNocSimulator(topology, config, routing_tables=tables, seed=seed)
+            assert _observables(shared.run(traffic, seed=seed)) == _observables(
+                fresh.run(traffic)
+            )
+
+    def test_facade_delegates_to_engine(self):
+        topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
+        config = NocConfiguration()
+        traffic = random_traffic(8, 20, seed=9)
+        facade = NocSimulator(topology, config, routing_tables=tables, seed=4)
+        engine = BatchNocSimulator(topology, config, routing_tables=tables, seed=4)
+        assert _observables(facade.run(traffic)) == _observables(engine.run(traffic))
+
+
+class TestMessageArrays:
+    def test_flattening_round_trip(self):
+        traffic = random_traffic(5, 7, seed=11)
+        arrays = MessageArrays.from_traffic(traffic)
+        assert arrays.total == traffic.total_messages
+        for node, node_traffic in enumerate(traffic.per_node):
+            lo = int(arrays.node_offset[node])
+            hi = int(arrays.node_offset[node + 1])
+            assert hi - lo == node_traffic.n_messages
+            assert tuple(arrays.dest[lo:hi]) == node_traffic.destinations
+            assert tuple(arrays.memory_location[lo:hi]) == node_traffic.memory_locations
+            assert (arrays.source[lo:hi] == node).all()
+
+    def test_empty_traffic(self):
+        arrays = MessageArrays.from_traffic(random_traffic(4, 0))
+        assert arrays.total == 0
+
+
+class TestSweepDriver:
+    def test_sweep_matches_individual_runs(self):
+        jobs = []
+        for alg in RoutingAlgorithm:
+            for policy in CollisionPolicy:
+                jobs.append(
+                    NocSweepJob(
+                        family="generalized-kautz",
+                        parallelism=8,
+                        degree=3,
+                        config=NocConfiguration(collision_policy=policy).with_routing(alg),
+                        traffic=random_traffic(8, 15, seed=21),
+                        seed=2,
+                    )
+                )
+        results = run_noc_sweep(jobs)
+        assert len(results) == len(jobs)
+        for job, result in zip(jobs, results):
+            topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
+            single = BatchNocSimulator(
+                topology, job.config, routing_tables=tables, seed=job.seed
+            ).run(job.traffic)
+            assert _observables(result) == _observables(single)
+
+    def test_sweep_shares_topology_cache(self):
+        cache: dict = {}
+        jobs = [
+            NocSweepJob(
+                family="ring",
+                parallelism=6,
+                degree=None,
+                config=NocConfiguration(injection_rate=rate),
+                traffic=random_traffic(6, 10, seed=3),
+            )
+            for rate in (0.25, 0.5, 1.0)
+        ]
+        run_noc_sweep(jobs, topology_cache=cache)
+        assert list(cache) == [("ring", 6, None)]
+        # Reusing the pre-warmed cache must not rebuild anything.
+        topology_before = cache[("ring", 6, None)][0]
+        run_noc_sweep(jobs, topology_cache=cache)
+        assert cache[("ring", 6, None)][0] is topology_before
