@@ -7,9 +7,11 @@ prints its effect on ncycles / throughput / FIFO sizing, reproducing the
 sensitivity discussion that justifies the paper's chosen configuration
 (RL = 0, SCM, R = 0.5, SSP-FL).
 
-All points run through the struct-of-arrays engine sweep driver
-(:func:`repro.noc.engine.run_noc_sweep`), seeded with the decoder's already
-built topology and routing tables so nothing is recomputed per knob.
+All points run through the sweep scheduler
+(:func:`repro.noc.sweep.run_noc_sweep`), seeded with the decoder's already
+built topology and routing tables so nothing is recomputed per knob; rows are
+matched to their configurations through each outcome's attached job rather
+than input ordering.
 """
 
 from __future__ import annotations
@@ -25,7 +27,11 @@ from repro.utils import Table
 
 
 def _sweep(decoder: NocDecoderArchitecture, traffic, configs, seed=0):
-    """Run one traffic pattern under many configurations via the sweep driver."""
+    """Run one traffic pattern under many configurations via the scheduler.
+
+    Returns ``{config: result}``, keyed through each outcome's job — callers
+    look their configuration up instead of relying on submission order.
+    """
     spec = decoder.spec
     key = (spec.topology_family, spec.parallelism, spec.degree)
     cache = {key: (decoder.topology, decoder.routing_tables)}
@@ -40,7 +46,8 @@ def _sweep(decoder: NocDecoderArchitecture, traffic, configs, seed=0):
         )
         for config in configs
     ]
-    return run_noc_sweep(jobs, topology_cache=cache)
+    outcomes = run_noc_sweep(jobs, topology_cache=cache)
+    return {outcome.job.config: outcome.result for outcome in outcomes}
 
 
 def _throughput(spec: DecoderSpec, code, ncycles: int) -> float:
@@ -70,8 +77,8 @@ def test_ablation_injection_rate_and_flags(benchmark, bench_print, bench_json):
     ]
 
     def run_all():
-        sims = _sweep(decoder, mapping.traffic, [c for _, c in labels_and_configs])
-        return list(zip([label for label, _ in labels_and_configs], sims))
+        by_config = _sweep(decoder, mapping.traffic, [c for _, c in labels_and_configs])
+        return [(label, by_config[config]) for label, config in labels_and_configs]
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -129,9 +136,10 @@ def test_ablation_node_architecture_fifo_sizing(benchmark, bench_print, bench_js
 
         area_model = NocAreaModel()
         configs = [spec.noc.with_routing(algorithm) for algorithm in algorithms]
-        sims = _sweep(decoder, mapping.traffic, configs)
+        by_config = _sweep(decoder, mapping.traffic, configs)
         rows = []
-        for algorithm, config, sim in zip(algorithms, configs, sims):
+        for algorithm, config in zip(algorithms, configs):
+            sim = by_config[config]
             area = area_model.noc_area_mm2(
                 topology.n_nodes, topology.crossbar_size, config, sim.per_node_max_fifo
             )

@@ -1,0 +1,293 @@
+"""Benchmark: job-batched NoC sweep scheduler vs the PR 3 scalar engine path.
+
+The paper's design-space exploration evaluates each (topology, P, routing,
+collision-policy) cell of Table I / the Section III-A ablation; a Monte-Carlo
+robustness pass evaluates every cell under J independent traffic streams
+(:func:`repro.noc.traffic.random_traffic_streams`).  PR 3 ran those J points
+strictly sequentially through the scalar struct-of-arrays engine; the PR 4
+scheduler (:func:`repro.noc.sweep.run_noc_sweep`) groups the J points of each
+cell and advances them in lockstep through the job-batched cycle kernel
+(:class:`repro.noc.engine_batch.BatchedNocKernel`).
+
+This bench measures sweep-points/sec of both paths over the Table-I workload
+grid (generalized Kautz D=3 at the paper's parallelism degrees, all three
+routing algorithms, both collision policies, one LDPC iteration of traffic
+per PE) at several batch sizes, asserts the two paths agree cycle-exactly per
+job, and records the numbers in ``benchmarks/BENCH_noc_batch_sweep.json``.
+
+Reading the recorded numbers: batching wins grow with the batch size J and
+are largest for DCM cells (pure vector path); SCM cells fund the sequential
+deflection-draw replay (the paper-exact per-job random stream) out of the
+same budget, so their ratio is lower on a single core.  The scheduler's
+``parallel="process"`` mode multiplies the serial ratio by the worker count
+on multi-core hosts; its row records the workers used.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.noc import (
+    BatchNocSimulator,
+    CollisionPolicy,
+    NocConfiguration,
+    NocSweepJob,
+    ReferenceNocSimulator,
+    RoutingAlgorithm,
+    build_routing_tables,
+    build_topology,
+    run_noc_sweep,
+)
+from repro.noc.traffic import random_traffic_streams
+
+from benchmarks.conftest import full_benchmarks_enabled
+
+#: (parallelism, degree, messages per PE) — message counts sized like the
+#: n=2304 rate-1/2 WiMAX LDPC code partitioned over P PEs (~2304/P each).
+SWEEP_SCALES = [(16, 3, 144), (22, 3, 105)]
+TIMING_REPEATS = 2
+
+
+def _batch_sizes() -> list[int]:
+    return [8, 64, 256] if full_benchmarks_enabled() else [8, 32]
+
+
+def _build_jobs(batch: int) -> list[NocSweepJob]:
+    """One Monte-Carlo group of ``batch`` traffic streams per Table-I cell."""
+    jobs = []
+    for parallelism, degree, messages in SWEEP_SCALES:
+        for algorithm in RoutingAlgorithm:
+            for policy in CollisionPolicy:
+                config = NocConfiguration(collision_policy=policy).with_routing(algorithm)
+                streams = random_traffic_streams(
+                    parallelism, messages, seed=100 + parallelism, count=batch
+                )
+                jobs.extend(
+                    NocSweepJob(
+                        family="generalized-kautz",
+                        parallelism=parallelism,
+                        degree=degree,
+                        config=config,
+                        traffic=traffic,
+                        seed=stream,
+                    )
+                    for stream, traffic in enumerate(streams)
+                )
+    return jobs
+
+
+def _run_pr3_engine(jobs: list[NocSweepJob]):
+    """The PR 3 sweep path: shared graphs and engines, jobs strictly serial."""
+    cache: dict = {}
+    engines: dict = {}
+    results = []
+    for job in jobs:
+        key = (job.family, job.parallelism, job.degree)
+        if key not in cache:
+            topology = build_topology(job.family, job.parallelism, job.degree)
+            cache[key] = (topology, build_routing_tables(topology))
+        topology, tables = cache[key]
+        engine_key = (key, job.config, job.max_cycles)
+        engine = engines.get(engine_key)
+        if engine is None:
+            engine = BatchNocSimulator(
+                topology, job.config, routing_tables=tables, max_cycles=job.max_cycles
+            )
+            engines[engine_key] = engine
+        results.append(engine.run(job.traffic, seed=job.seed))
+    return results
+
+
+def _best_time(fn, repeats: int = TIMING_REPEATS):
+    """(best wall time, last result) over a few repeats — robust to CI noise."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _signature(result):
+    return (
+        result.ncycles,
+        result.delivered_messages,
+        result.local_bypassed,
+        tuple(result.per_node_max_fifo),
+        result.max_injection_occupancy,
+        result.statistics.total_hops,
+        result.statistics.total_latency,
+        result.statistics.misrouted,
+    )
+
+
+def _assert_identical(jobs, pr3_results, outcomes):
+    by_job = {id(outcome.job): outcome.result for outcome in outcomes}
+    for job, ref in zip(jobs, pr3_results):
+        assert _signature(by_job[id(job)]) == _signature(ref)
+
+
+@pytest.mark.benchmark(group="noc-batch-sweep")
+def test_batched_sweep_throughput(benchmark, bench_print, bench_json):
+    """Scheduler vs PR 3 engine over the Table-I grid at several batch sizes."""
+    per_batch: dict[str, dict] = {}
+    lines = ["Job-batched NoC sweep vs PR 3 scalar engine (kautz D=3, best of "
+             f"{TIMING_REPEATS}):"]
+
+    def run_sizes():
+        largest = _batch_sizes()[-1]
+        for batch in _batch_sizes():
+            jobs = _build_jobs(batch)
+            pr3_s, pr3_results = _best_time(lambda: _run_pr3_engine(jobs))
+            sched_s, outcomes = _best_time(lambda: run_noc_sweep(jobs))
+            _assert_identical(jobs, pr3_results, outcomes)
+            entry = {
+                "jobs": len(jobs),
+                "pr3_points_per_sec": round(len(jobs) / pr3_s, 2),
+                "batched_points_per_sec": round(len(jobs) / sched_s, 2),
+                "overall_speedup": round(pr3_s / sched_s, 3),
+            }
+            if batch == largest:
+                # Per-policy split only at the largest batch (the headline):
+                # DCM cells run the pure vector path, SCM cells also fund the
+                # paper-exact sequential deflection replay.
+                for policy in CollisionPolicy:
+                    sub = [j for j in jobs if j.config.collision_policy is policy]
+                    pr3_p, _ = _best_time(lambda: _run_pr3_engine(sub))
+                    sched_p, _ = _best_time(lambda: run_noc_sweep(sub))
+                    entry[f"{policy.value.lower()}_speedup"] = round(pr3_p / sched_p, 3)
+            per_batch[str(batch)] = entry
+            split = ", ".join(
+                f"{p.value} {entry[f'{p.value.lower()}_speedup']:.2f}x"
+                for p in CollisionPolicy
+                if f"{p.value.lower()}_speedup" in entry
+            )
+            lines.append(
+                f"  J={batch:4d}: {entry['pr3_points_per_sec']:8.1f} -> "
+                f"{entry['batched_points_per_sec']:8.1f} pts/s "
+                f"(overall {entry['overall_speedup']:.2f}x{', ' + split if split else ''})"
+            )
+        return per_batch
+
+    benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+    bench_print("\n".join(lines))
+
+    largest = per_batch[str(_batch_sizes()[-1])]
+    bench_json(
+        "noc_batch_sweep",
+        "sweep_points_per_sec",
+        {
+            "grid": {
+                "scales": SWEEP_SCALES,
+                "algorithms": [a.value for a in RoutingAlgorithm],
+                "policies": [p.value for p in CollisionPolicy],
+            },
+            "batch_sizes": per_batch,
+            "best_dcm_speedup": max(
+                e.get("dcm_speedup", 0.0) for e in per_batch.values()
+            ),
+            "best_overall_speedup": max(e["overall_speedup"] for e in per_batch.values()),
+            "timing_repeats": TIMING_REPEATS,
+        },
+    )
+
+    # Perf floors run on developer machines only: shared CI runners measure
+    # the reduced J=32 grid under unpredictable neighbour load, where the DCM
+    # ratio has no recorded headroom — CI records the JSON (and still enforces
+    # cycle-exactness above) without gating on wall-clock ratios.
+    if not os.environ.get("CI"):
+        assert largest["dcm_speedup"] >= 1.25, (
+            f"DCM batched sweep regressed to {largest['dcm_speedup']}x"
+        )
+        assert largest["overall_speedup"] >= 1.0, (
+            f"batched sweep slower than the PR 3 engine: {largest['overall_speedup']}x"
+        )
+
+
+@pytest.mark.benchmark(group="noc-batch-sweep")
+def test_parallel_process_mode(benchmark, bench_print, bench_json):
+    """parallel="process" must be bit-identical; its speedup scales with workers."""
+    batch = _batch_sizes()[-1] // 2 or 4
+    jobs = _build_jobs(batch)
+    serial_s, serial_outcomes = _best_time(lambda: run_noc_sweep(jobs), repeats=1)
+    workers = os.cpu_count() or 1
+
+    def run_parallel():
+        return run_noc_sweep(jobs, parallel="process", max_workers=workers)
+
+    parallel_s, parallel_outcomes = benchmark.pedantic(
+        lambda: _best_time(run_parallel, repeats=1), rounds=1, iterations=1
+    )
+    by_job = {id(o.job): o.result for o in serial_outcomes}
+    for outcome in parallel_outcomes:
+        assert _signature(outcome.result) == _signature(by_job[id(outcome.job)])
+
+    bench_print(
+        f"process-parallel sweep ({workers} worker(s), J={batch}): "
+        f"{len(jobs) / serial_s:.1f} -> {len(jobs) / parallel_s:.1f} pts/s "
+        f"({serial_s / parallel_s:.2f}x vs serial scheduler)"
+    )
+    bench_json(
+        "noc_batch_sweep",
+        "parallel_process",
+        {
+            "workers": workers,
+            "batch": batch,
+            "jobs": len(jobs),
+            "serial_points_per_sec": round(len(jobs) / serial_s, 2),
+            "parallel_points_per_sec": round(len(jobs) / parallel_s, 2),
+            "speedup_vs_serial_scheduler": round(serial_s / parallel_s, 3),
+        },
+    )
+
+
+@pytest.mark.benchmark(group="noc-batch-sweep")
+def test_batched_vs_object_reference(benchmark, bench_print, bench_json):
+    """Context row: the batched path vs the pre-engine object simulator."""
+    parallelism, degree, messages = SWEEP_SCALES[0]
+    batch = 16
+    config = NocConfiguration().with_routing(RoutingAlgorithm.SSP_FL)
+    streams = random_traffic_streams(parallelism, messages, seed=5, count=batch)
+    jobs = [
+        NocSweepJob(
+            family="generalized-kautz",
+            parallelism=parallelism,
+            degree=degree,
+            config=config,
+            traffic=traffic,
+            seed=stream,
+        )
+        for stream, traffic in enumerate(streams)
+    ]
+    topology = build_topology("generalized-kautz", parallelism, degree)
+    tables = build_routing_tables(topology)
+
+    def run_reference():
+        return [
+            ReferenceNocSimulator(
+                topology, config, routing_tables=tables, seed=job.seed
+            ).run(job.traffic)
+            for job in jobs
+        ]
+
+    reference_s, reference_results = _best_time(run_reference, repeats=1)
+    batched_s, outcomes = benchmark.pedantic(
+        lambda: _best_time(lambda: run_noc_sweep(jobs)), rounds=1, iterations=1
+    )
+    _assert_identical(jobs, reference_results, outcomes)
+    speedup = reference_s / batched_s
+    bench_print(
+        f"batched sweep vs object reference simulator (J={batch}, SSP-FL SCM): "
+        f"{speedup:.1f}x"
+    )
+    bench_json(
+        "noc_batch_sweep",
+        "vs_object_reference",
+        {"batch": batch, "speedup": round(speedup, 2)},
+    )
+    if not os.environ.get("CI"):
+        assert speedup >= 3.0, f"vs-reference speedup regressed to {speedup:.2f}x"

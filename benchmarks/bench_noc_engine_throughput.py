@@ -6,8 +6,11 @@ and both collision policies at paper-scale traffic (one LDPC-iteration's worth
 of messages per PE).  The baseline evaluates every point the way the pre-engine
 design flow did: build the topology, build its routing tables, construct the
 object simulator, run.  The engine path runs the same jobs through
-:func:`repro.noc.engine.run_noc_sweep`, which shares the precomputed
-topologies/routing tables and per-configuration engine state across points.
+:func:`repro.noc.sweep.run_noc_sweep`, which shares the precomputed
+topologies/routing tables and per-configuration engine state across points
+(every job here has a distinct configuration, so the scheduler exercises its
+scalar-engine dispatch, not the batched kernel — see
+``bench_noc_batch_sweep.py`` for the job-batched measurement).
 
 Both paths produce cycle-exact identical :class:`SimulationResult`s (asserted
 here and pinned by ``tests/test_noc_engine.py``); only the time differs.
@@ -92,12 +95,15 @@ def test_engine_sweep_throughput(benchmark, bench_print, bench_json):
     jobs = _build_jobs()
 
     baseline_s, baseline_results = _best_time(lambda: _run_baseline(jobs))
-    engine_s, engine_results = benchmark.pedantic(
+    engine_s, engine_outcomes = benchmark.pedantic(
         lambda: _best_time(lambda: run_noc_sweep(jobs)), rounds=1, iterations=1
     )
 
-    # The two paths must agree cycle-exactly before their times mean anything.
-    for ref, eng in zip(baseline_results, engine_results):
+    # The two paths must agree cycle-exactly before their times mean anything;
+    # outcomes carry their jobs, so pair through the job rather than position.
+    by_job = {id(outcome.job): outcome.result for outcome in engine_outcomes}
+    for job, ref in zip(jobs, baseline_results):
+        eng = by_job[id(job)]
         assert (ref.ncycles, ref.delivered_messages, ref.per_node_max_fifo) == (
             eng.ncycles,
             eng.delivered_messages,

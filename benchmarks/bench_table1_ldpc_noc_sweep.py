@@ -8,9 +8,11 @@ The default grid covers every topology group of the paper at two parallelism
 degrees (16 and 32); set ``REPRO_BENCH_FULL=1`` to sweep the paper's full
 P in {16, 24, 32, 36} grid.
 
-The sweep runs through the struct-of-arrays NoC cycle engine
-(:mod:`repro.noc.engine`), with topologies, routing tables and code mappings
-shared across the grid by :class:`~repro.core.design_flow.DesignSpaceExplorer`.
+The sweep is submitted as one batch to the NoC sweep scheduler
+(:func:`repro.noc.sweep.run_noc_sweep`) by
+:class:`~repro.core.design_flow.DesignSpaceExplorer`, with topologies,
+routing tables and code mappings shared across the grid and design points
+assembled from each outcome's attached job.
 """
 
 from __future__ import annotations

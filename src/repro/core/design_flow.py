@@ -11,10 +11,15 @@ interleaver), runs the cycle-accurate simulation and reports, per point,
 ``ncycles``, throughput (eq. (12)), NoC area and FIFO sizing — exactly the
 quantities tabulated in the paper's Table I.
 
-Simulation goes through the struct-of-arrays cycle engine
-(:class:`~repro.noc.engine.BatchNocSimulator`); topologies, routing tables
-and code mappings are each built once per sweep and shared across all the
-points that reuse them.
+Simulation goes through the NoC sweep scheduler
+(:func:`~repro.noc.sweep.run_noc_sweep`): the whole grid is submitted as one
+batch of :class:`~repro.noc.sweep.NocSweepJob`s, the scheduler groups them by
+(graph, configuration) — batching groups on the job-axis cycle kernel and
+optionally sharding groups across worker processes — and every returned
+:class:`~repro.noc.sweep.NocSweepOutcome` carries its job, so design points
+are assembled from the job identity rather than input ordering.  Topologies,
+routing tables and code mappings are each built once per sweep and shared
+across all the points that reuse them.
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ from repro.ldpc.wimax import WimaxLdpcCode
 from repro.mapping.ldpc_mapping import map_ldpc_code
 from repro.mapping.turbo_mapping import map_turbo_code
 from repro.noc.config import RoutingAlgorithm
-from repro.noc.engine import BatchNocSimulator
+from repro.noc.results import SimulationResult
 from repro.noc.routing import RoutingTables, build_routing_tables
+from repro.noc.sweep import NocSweepJob, run_noc_sweep
 from repro.noc.topologies import Topology, build_topology
 
 
@@ -81,15 +87,16 @@ class DesignSpaceExplorer:
         self._turbo_mapping_cache: dict[tuple[int, int], object] = {}
         # Topologies and routing tables are shared across every sweep point
         # that uses the same graph (three routing algorithms per cell in the
-        # Table-I grid), mirroring the engine sweep driver's cache.
+        # Table-I grid).  The dict uses the sweep scheduler's key order so it
+        # doubles as the scheduler's ``topology_cache``.
         self._graph_cache: dict[
-            tuple[str, int | None, int], tuple[Topology, RoutingTables]
+            tuple[str, int, int | None], tuple[Topology, RoutingTables]
         ] = {}
 
     def _cached_graph(
         self, family: str, degree: int | None, parallelism: int
     ) -> tuple[Topology, RoutingTables]:
-        key = (family, degree, parallelism)
+        key = (family, parallelism, degree)
         if key not in self._graph_cache:
             topology = build_topology(family, parallelism, degree)
             self._graph_cache[key] = (topology, build_routing_tables(topology))
@@ -116,6 +123,75 @@ class DesignSpaceExplorer:
         return self._turbo_mapping_cache[key]
 
     # ------------------------------------------------------------------ #
+    # Point assembly (simulation results -> Table-I rows)
+    # ------------------------------------------------------------------ #
+    def _ldpc_point(
+        self,
+        code: WimaxLdpcCode,
+        job: NocSweepJob,
+        result: SimulationResult,
+        mapping,
+        topology: Topology,
+    ) -> DesignPoint:
+        spec = self.base_spec
+        throughput = ldpc_throughput_bps(
+            info_bits=code.k,
+            clock_hz=spec.ldpc_clock_hz,
+            max_iterations=spec.ldpc_max_iterations,
+            core_latency_cycles=spec.ldpc_core_latency_cycles,
+            message_passing_cycles=result.ncycles,
+        )
+        return self._assemble_point(job, result, mapping, topology, "LDPC", throughput)
+
+    def _turbo_point(
+        self,
+        n_couples: int,
+        job: NocSweepJob,
+        result: SimulationResult,
+        mapping,
+        topology: Topology,
+    ) -> DesignPoint:
+        spec = self.base_spec
+        throughput = turbo_throughput_bps(
+            info_bits=2 * n_couples,
+            noc_clock_hz=spec.turbo_noc_clock_hz,
+            max_iterations=spec.turbo_max_iterations,
+            core_latency_cycles=spec.siso_core_latency_cycles,
+            half_iteration_cycles=result.ncycles,
+        )
+        return self._assemble_point(job, result, mapping, topology, "turbo", throughput)
+
+    def _assemble_point(
+        self,
+        job: NocSweepJob,
+        result: SimulationResult,
+        mapping,
+        topology: Topology,
+        mode: str,
+        throughput: float,
+    ) -> DesignPoint:
+        noc_area = self._area_model.noc_area_mm2(
+            n_nodes=job.parallelism,
+            crossbar_size=topology.crossbar_size,
+            config=job.config,
+            per_node_fifo_depth=result.per_node_max_fifo,
+        )
+        return DesignPoint(
+            topology_family=job.family,
+            degree=job.degree,
+            parallelism=job.parallelism,
+            routing_algorithm=job.config.routing_algorithm,
+            node_architecture=job.config.node_architecture.value,
+            mode=mode,
+            ncycles=result.ncycles,
+            throughput_mbps=throughput / 1e6,
+            noc_area_mm2=noc_area,
+            max_fifo_depth=result.max_fifo_occupancy,
+            locality=mapping.locality,
+            mean_latency=result.statistics.mean_latency,
+        )
+
+    # ------------------------------------------------------------------ #
     # Single-point evaluation
     # ------------------------------------------------------------------ #
     def evaluate_ldpc_point(
@@ -127,41 +203,19 @@ class DesignSpaceExplorer:
         routing_algorithm: RoutingAlgorithm,
     ) -> DesignPoint:
         """Map, simulate and cost one LDPC design point."""
-        spec = self.base_spec
-        config = spec.noc.with_routing(routing_algorithm)
-        topology, tables = self._cached_graph(topology_family, degree, parallelism)
+        config = self.base_spec.noc.with_routing(routing_algorithm)
+        topology, _ = self._cached_graph(topology_family, degree, parallelism)
         mapping = self._cached_ldpc_mapping(code, parallelism)
-        simulator = BatchNocSimulator(
-            topology, config, routing_tables=tables, seed=self.seed
-        )
-        result = simulator.run(mapping.traffic)
-        throughput = ldpc_throughput_bps(
-            info_bits=code.k,
-            clock_hz=spec.ldpc_clock_hz,
-            max_iterations=spec.ldpc_max_iterations,
-            core_latency_cycles=spec.ldpc_core_latency_cycles,
-            message_passing_cycles=result.ncycles,
-        )
-        noc_area = self._area_model.noc_area_mm2(
-            n_nodes=parallelism,
-            crossbar_size=topology.crossbar_size,
-            config=config,
-            per_node_fifo_depth=result.per_node_max_fifo,
-        )
-        return DesignPoint(
-            topology_family=topology_family,
-            degree=degree,
+        job = NocSweepJob(
+            family=topology_family,
             parallelism=parallelism,
-            routing_algorithm=routing_algorithm,
-            node_architecture=config.node_architecture.value,
-            mode="LDPC",
-            ncycles=result.ncycles,
-            throughput_mbps=throughput / 1e6,
-            noc_area_mm2=noc_area,
-            max_fifo_depth=result.max_fifo_occupancy,
-            locality=mapping.locality,
-            mean_latency=result.statistics.mean_latency,
+            degree=degree,
+            config=config,
+            traffic=mapping.traffic,
+            seed=self.seed,
         )
+        (outcome,) = run_noc_sweep([job], topology_cache=self._graph_cache)
+        return self._ldpc_point(code, outcome.job, outcome.result, mapping, topology)
 
     def evaluate_turbo_point(
         self,
@@ -172,41 +226,19 @@ class DesignSpaceExplorer:
         routing_algorithm: RoutingAlgorithm,
     ) -> DesignPoint:
         """Map, simulate and cost one turbo design point."""
-        spec = self.base_spec
-        config = spec.noc.with_routing(routing_algorithm)
-        topology, tables = self._cached_graph(topology_family, degree, parallelism)
+        config = self.base_spec.noc.with_routing(routing_algorithm)
+        topology, _ = self._cached_graph(topology_family, degree, parallelism)
         mapping = self._cached_turbo_mapping(n_couples, parallelism)
-        simulator = BatchNocSimulator(
-            topology, config, routing_tables=tables, seed=self.seed
-        )
-        result = simulator.run(mapping.traffic_forward)
-        throughput = turbo_throughput_bps(
-            info_bits=2 * n_couples,
-            noc_clock_hz=spec.turbo_noc_clock_hz,
-            max_iterations=spec.turbo_max_iterations,
-            core_latency_cycles=spec.siso_core_latency_cycles,
-            half_iteration_cycles=result.ncycles,
-        )
-        noc_area = self._area_model.noc_area_mm2(
-            n_nodes=parallelism,
-            crossbar_size=topology.crossbar_size,
-            config=config,
-            per_node_fifo_depth=result.per_node_max_fifo,
-        )
-        return DesignPoint(
-            topology_family=topology_family,
-            degree=degree,
+        job = NocSweepJob(
+            family=topology_family,
             parallelism=parallelism,
-            routing_algorithm=routing_algorithm,
-            node_architecture=config.node_architecture.value,
-            mode="turbo",
-            ncycles=result.ncycles,
-            throughput_mbps=throughput / 1e6,
-            noc_area_mm2=noc_area,
-            max_fifo_depth=result.max_fifo_occupancy,
-            locality=mapping.locality,
-            mean_latency=result.statistics.mean_latency,
+            degree=degree,
+            config=config,
+            traffic=mapping.traffic_forward,
+            seed=self.seed,
         )
+        (outcome,) = run_noc_sweep([job], topology_cache=self._graph_cache)
+        return self._turbo_point(n_couples, outcome.job, outcome.result, mapping, topology)
 
     # ------------------------------------------------------------------ #
     # Sweeps
@@ -218,6 +250,7 @@ class DesignSpaceExplorer:
         parallelisms: list[int],
         routing_algorithms: list[RoutingAlgorithm] | None = None,
         skip_invalid: bool = True,
+        parallel: str | None = None,
     ) -> list[DesignPoint]:
         """Evaluate the Cartesian product of topologies, parallelisms and algorithms.
 
@@ -225,21 +258,46 @@ class DesignSpaceExplorer:
         combinations (e.g. a toroidal mesh whose node count has no valid grid)
         are skipped when ``skip_invalid`` is true, mirroring the paper's
         practice of only reporting feasible points.
+
+        The whole grid is submitted to the sweep scheduler as one batch;
+        ``parallel="process"`` shards the simulation groups across worker
+        processes (mapping and cost models stay in-process).  Design points
+        are assembled from each outcome's attached job, not from positional
+        bookkeeping.
         """
         algorithms = routing_algorithms or list(RoutingAlgorithm)
-        points: list[DesignPoint] = []
+        jobs: list[NocSweepJob] = []
+        context: dict[int, tuple] = {}
         for family, degree in topologies:
             for parallelism in parallelisms:
-                for algorithm in algorithms:
-                    try:
-                        points.append(
-                            self.evaluate_ldpc_point(
-                                code, family, degree, parallelism, algorithm
-                            )
-                        )
-                    except (TopologyError, MappingError, ConfigurationError):
-                        if not skip_invalid:
-                            raise
+                try:
+                    topology, _ = self._cached_graph(family, degree, parallelism)
+                    mapping = self._cached_ldpc_mapping(code, parallelism)
+                    configs = [self.base_spec.noc.with_routing(a) for a in algorithms]
+                except (TopologyError, MappingError, ConfigurationError):
+                    if not skip_invalid:
+                        raise
+                    continue
+                for config in configs:
+                    job = NocSweepJob(
+                        family=family,
+                        parallelism=parallelism,
+                        degree=degree,
+                        config=config,
+                        traffic=mapping.traffic,
+                        seed=self.seed,
+                    )
+                    jobs.append(job)
+                    context[id(job)] = (mapping, topology)
+        outcomes = run_noc_sweep(
+            jobs, topology_cache=self._graph_cache, parallel=parallel
+        )
+        points: list[DesignPoint] = []
+        for outcome in outcomes:
+            mapping, topology = context[id(outcome.job)]
+            points.append(
+                self._ldpc_point(code, outcome.job, outcome.result, mapping, topology)
+            )
         return points
 
     def best_point(

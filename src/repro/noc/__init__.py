@@ -15,10 +15,15 @@ This package reproduces the intra-IP NoC studied in Section III of the paper:
 * :mod:`~repro.noc.traffic` — per-PE ordered message lists (the "equivalent
   interleaver" view of a decoding iteration) and seeded synthetic generators,
 * :mod:`~repro.noc.engine` — the struct-of-arrays cycle engine
-  (:class:`BatchNocSimulator`) and the multi-point sweep driver
-  (:func:`run_noc_sweep`) that measure ``ncycles`` and FIFO occupancies,
+  (:class:`BatchNocSimulator`) that measures ``ncycles`` and FIFO occupancies,
+* :mod:`~repro.noc.engine_batch` — the job-batched kernel
+  (:class:`BatchedNocKernel`) advancing many independent jobs one cycle per
+  vectorized step,
+* :mod:`~repro.noc.sweep` — the sweep scheduler (:func:`run_noc_sweep`):
+  jobs grouped by (graph, configuration), dispatched to the batched kernel,
+  optionally sharded across worker processes,
 * :mod:`~repro.noc.simulator` — the public :class:`NocSimulator` facade plus
-  the per-object :class:`ReferenceNocSimulator` the engine is pinned against.
+  the per-object :class:`ReferenceNocSimulator` the engines are pinned against.
 """
 
 from repro.noc.topologies import (
@@ -48,12 +53,9 @@ from repro.noc.traffic import (
     random_traffic,
     random_traffic_streams,
 )
-from repro.noc.engine import (
-    BatchNocSimulator,
-    MessageArrays,
-    NocSweepJob,
-    run_noc_sweep,
-)
+from repro.noc.engine import BatchNocSimulator, MessageArrays
+from repro.noc.engine_batch import BatchedNocKernel
+from repro.noc.sweep import NocSweepJob, NocSweepOutcome, run_noc_sweep
 from repro.noc.results import SimulationResult
 from repro.noc.simulator import NocSimulator, ReferenceNocSimulator
 
@@ -81,8 +83,10 @@ __all__ = [
     "random_traffic",
     "random_traffic_streams",
     "BatchNocSimulator",
+    "BatchedNocKernel",
     "MessageArrays",
     "NocSweepJob",
+    "NocSweepOutcome",
     "run_noc_sweep",
     "NocSimulator",
     "ReferenceNocSimulator",

@@ -33,18 +33,17 @@ object simulator.  The NumPy side of the layout pays off at the boundaries:
 traffic is ingested, and statistics (latencies, hops, misroutes) are reduced,
 as single vectorized array operations.
 
-:func:`run_noc_sweep` batches many ``(topology, P, R, policy, seed)`` points
-through one engine front end, sharing the precomputed topology and routing
-tables across all points that use the same graph — the sweep-level batching
-that :mod:`repro.sim.batch` / :mod:`repro.sim.turbo_batch` brought to the two
-decoding families.
+Multi-point sweeps live one layer up: :func:`repro.noc.sweep.run_noc_sweep`
+groups jobs by (graph, configuration), dispatches groups of 2+ to the
+job-batched kernel (:mod:`repro.noc.engine_batch`) and reuses this scalar
+engine for the rest, sharing precomputed topologies and routing tables across
+all points that use the same graph.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 
@@ -53,7 +52,7 @@ from repro.noc.config import CollisionPolicy, NocConfiguration, RoutingAlgorithm
 from repro.noc.message import MessageStatistics
 from repro.noc.results import SimulationResult
 from repro.noc.routing import RoutingTables, build_routing_tables
-from repro.noc.topologies import Topology, build_topology
+from repro.noc.topologies import Topology
 from repro.noc.traffic import TrafficPattern
 
 
@@ -103,8 +102,8 @@ class BatchNocSimulator:
     Drop-in computational replacement for the reference object simulator: same
     constructor signature, same :class:`~repro.noc.results.SimulationResult`,
     cycle-exact outputs.  ``NocSimulator`` delegates here at sweep size 1; use
-    :func:`run_noc_sweep` to amortize topology/routing-table construction over
-    many sweep points.
+    :func:`repro.noc.sweep.run_noc_sweep` to amortize topology/routing-table
+    construction over many sweep points.
 
     Parameters
     ----------
@@ -157,62 +156,6 @@ class BatchNocSimulator:
             self._static, MessageArrays.from_traffic(traffic), traffic.label,
             self.seed if seed is None else seed, self.max_cycles,
         )
-
-
-@dataclass(frozen=True)
-class NocSweepJob:
-    """One point of a NoC sweep: a topology spec, a configuration and traffic.
-
-    ``family``/``parallelism``/``degree`` describe the topology so the sweep
-    driver can share one built topology (and its routing tables) across every
-    job that uses the same graph.
-    """
-
-    family: str
-    parallelism: int
-    degree: int | None
-    config: NocConfiguration
-    traffic: TrafficPattern
-    seed: int = 0
-    max_cycles: int = 200_000
-
-
-def run_noc_sweep(
-    jobs: Iterable[NocSweepJob],
-    topology_cache: dict | None = None,
-) -> list[SimulationResult]:
-    """Run many sweep points through shared precomputed routing tables.
-
-    Topologies and routing tables are built once per distinct
-    ``(family, parallelism, degree)``, and one engine (with its precomputed
-    static wiring/routing state) is reused across every job sharing the same
-    graph and configuration — the paper's sweeps evaluate three routing
-    algorithms and several R/RL/DCM-SCM settings per graph, so the reuse
-    factor is substantial.  Pass an explicit ``topology_cache`` dict to share
-    the cache across several sweeps.
-    """
-    cache: dict = topology_cache if topology_cache is not None else {}
-    engines: dict = {}
-    results: list[SimulationResult] = []
-    for job in jobs:
-        key = (job.family, job.parallelism, job.degree)
-        if key not in cache:
-            topology = build_topology(job.family, job.parallelism, job.degree)
-            cache[key] = (topology, build_routing_tables(topology))
-        topology, tables = cache[key]
-        engine_key = (key, job.config, job.max_cycles)
-        engine = engines.get(engine_key)
-        if engine is None:
-            engine = BatchNocSimulator(
-                topology,
-                job.config,
-                routing_tables=tables,
-                seed=job.seed,
-                max_cycles=job.max_cycles,
-            )
-            engines[engine_key] = engine
-        results.append(engine.run(job.traffic, seed=job.seed))
-    return results
 
 
 # --------------------------------------------------------------------------- #

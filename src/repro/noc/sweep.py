@@ -1,0 +1,198 @@
+"""NoC sweep scheduler: group jobs, batch them, optionally shard across processes.
+
+PR 3's sweep driver walked jobs strictly sequentially through one scalar
+engine per (graph, configuration).  This module replaces it with a
+*scheduler*:
+
+1. jobs are **grouped** by ``(family, parallelism, degree, configuration,
+   max_cycles)`` — everything the batched kernel shares across a group;
+2. each group is dispatched to the job-batched cycle kernel
+   (:class:`~repro.noc.engine_batch.BatchedNocKernel`), which advances all of
+   the group's jobs one cycle per vectorized step; groups too small to batch
+   (or configurations the job axis cannot express, e.g. bounded-capacity
+   backpressure) run through the scalar engine instead;
+3. with ``parallel="process"`` the groups are sharded across a
+   :class:`concurrent.futures.ProcessPoolExecutor`; each worker process
+   builds (and caches) topologies and routing tables once, so graph
+   construction is paid per worker, not per job.
+
+Results are returned as :class:`NocSweepOutcome` records that carry the
+originating :class:`NocSweepJob`, so callers match results to jobs by
+identity instead of relying on input ordering (the list still preserves
+submission order for convenience).
+
+Engine reuse is explicitly **seed-independent**: engines and kernels are
+constructed once per group without any job's seed, and seeds are passed to
+``run`` only — two jobs differing only in seed always share one engine and
+still reproduce exactly what two freshly seeded engines would.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.noc.config import NocConfiguration
+from repro.noc.engine import BatchNocSimulator
+from repro.noc.engine_batch import BatchedNocKernel
+from repro.noc.results import SimulationResult
+from repro.noc.routing import build_routing_tables
+from repro.noc.topologies import build_topology
+from repro.noc.traffic import TrafficPattern
+
+__all__ = ["NocSweepJob", "NocSweepOutcome", "run_noc_sweep"]
+
+
+@dataclass(frozen=True)
+class NocSweepJob:
+    """One point of a NoC sweep: a topology spec, a configuration and traffic.
+
+    ``family``/``parallelism``/``degree`` describe the topology so the sweep
+    scheduler can share one built topology (and its routing tables) across
+    every job that uses the same graph, and batch every job that also shares
+    the configuration.
+    """
+
+    family: str
+    parallelism: int
+    degree: int | None
+    config: NocConfiguration
+    traffic: TrafficPattern
+    seed: int = 0
+    max_cycles: int = 200_000
+
+
+@dataclass(frozen=True)
+class NocSweepOutcome:
+    """One sweep result annotated with the job that produced it."""
+
+    job: NocSweepJob
+    result: SimulationResult
+
+
+#: Smallest group size worth stacking on the kernel's job axis; below this the
+#: scalar engine is dispatched directly (no dense batch state to build).
+MIN_BATCH = 2
+
+
+def run_noc_sweep(
+    jobs: Iterable[NocSweepJob],
+    topology_cache: dict | None = None,
+    parallel: str | None = None,
+    max_workers: int | None = None,
+    min_batch: int = MIN_BATCH,
+) -> list[NocSweepOutcome]:
+    """Run many sweep points through grouped, batched engines.
+
+    Parameters
+    ----------
+    jobs:
+        The sweep points.  Jobs sharing ``(family, parallelism, degree,
+        config, max_cycles)`` form one group and advance in lockstep through
+        the batched kernel; jobs with different graphs or configurations fall
+        back to separate grouped batches.
+    topology_cache:
+        Optional dict mapping ``(family, parallelism, degree)`` to
+        ``(topology, routing_tables)``; pass one to share built graphs across
+        several sweeps.  Used (and populated) by the serial path only — worker
+        processes keep their own per-process caches.
+    parallel:
+        ``None`` (serial, default) or ``"process"`` to shard groups across a
+        process pool.  Both paths produce bit-identical outcomes.
+    max_workers:
+        Worker count for ``parallel="process"`` (default: executor default).
+    min_batch:
+        Smallest group size dispatched to the job-batched kernel; smaller
+        groups run the scalar engine.  The default batches every group of two
+        or more; raise it on hosts where small batches do not pay off (see
+        ``docs/noc-engine.md``, "when does batching win").
+
+    Returns
+    -------
+    list[NocSweepOutcome]
+        One outcome per job, in submission order, each carrying its job.
+    """
+    jobs = list(jobs)
+    if parallel not in (None, "process"):
+        raise ConfigurationError(
+            f"parallel must be None or 'process', got {parallel!r}"
+        )
+    # Group jobs by everything the batched kernel shares.
+    groups: dict[tuple, list[int]] = {}
+    for index, job in enumerate(jobs):
+        key = (job.family, job.parallelism, job.degree, job.config, job.max_cycles)
+        groups.setdefault(key, []).append(index)
+
+    results: list[SimulationResult | None] = [None] * len(jobs)
+    if parallel is None:
+        cache: dict = topology_cache if topology_cache is not None else {}
+        for key, indices in groups.items():
+            family, parallelism, degree, config, max_cycles = key
+            graph_key = (family, parallelism, degree)
+            if graph_key not in cache:
+                topology = build_topology(family, parallelism, degree)
+                cache[graph_key] = (topology, build_routing_tables(topology))
+            topology, tables = cache[graph_key]
+            group_results = _run_group(
+                topology, tables, config, max_cycles,
+                [jobs[i].traffic for i in indices],
+                [jobs[i].seed for i in indices],
+                min_batch,
+            )
+            for i, result in zip(indices, group_results):
+                results[i] = result
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _process_group,
+                    key,
+                    [jobs[i].traffic for i in indices],
+                    [jobs[i].seed for i in indices],
+                    min_batch,
+                ): indices
+                for key, indices in groups.items()
+            }
+            for future, indices in futures.items():
+                for i, result in zip(indices, future.result()):
+                    results[i] = result
+    return [NocSweepOutcome(job=job, result=result) for job, result in zip(jobs, results)]
+
+
+def _run_group(
+    topology, tables, config, max_cycles, traffics, seeds, min_batch=MIN_BATCH
+) -> list[SimulationResult]:
+    """Run one (graph, configuration) group, batched when it pays off.
+
+    Engines are constructed seed-independently (the kernel takes no seed at
+    all; the scalar engine gets ``seed=0`` and per-job seeds at ``run`` only),
+    so reuse across same-group jobs with different seeds is exact.
+    """
+    if len(traffics) >= min_batch:
+        kernel = BatchedNocKernel(
+            topology, config, routing_tables=tables, max_cycles=max_cycles
+        )
+        return kernel.run(traffics, seeds)
+    engine = BatchNocSimulator(
+        topology, config, routing_tables=tables, seed=0, max_cycles=max_cycles
+    )
+    return [engine.run(traffic, seed=seed) for traffic, seed in zip(traffics, seeds)]
+
+
+#: Per-worker-process graph cache: topologies and routing tables are built
+#: once per (family, parallelism, degree) in each worker, then shared across
+#: every group that worker executes.
+_WORKER_GRAPHS: dict = {}
+
+
+def _process_group(key, traffics, seeds, min_batch=MIN_BATCH) -> list[SimulationResult]:
+    """Worker entry point: build/cache the graph, then run the group."""
+    family, parallelism, degree, config, max_cycles = key
+    graph_key = (family, parallelism, degree)
+    if graph_key not in _WORKER_GRAPHS:
+        topology = build_topology(family, parallelism, degree)
+        _WORKER_GRAPHS[graph_key] = (topology, build_routing_tables(topology))
+    topology, tables = _WORKER_GRAPHS[graph_key]
+    return _run_group(topology, tables, config, max_cycles, traffics, seeds, min_batch)

@@ -8,6 +8,8 @@ such generators from integer seeds so experiments are reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 
 
@@ -35,6 +37,73 @@ def bounded_draw(getrandbits, n: int) -> int:
     while r >= n:
         r = getrandbits(k)
     return r
+
+
+class DeflectionStreams:
+    """Counter-based per-job deflection-draw streams for the batched NoC kernel.
+
+    The batched cycle kernel (:class:`repro.noc.engine_batch.BatchedNocKernel`)
+    advances J independent simulations in lockstep, but each job's SCM
+    deflection randomness is *defined* as the scalar engines' stream: one
+    ``random.Random(seed)`` per job, consumed through :func:`bounded_draw` in
+    (cycle, node, serving-position) order.
+
+    This class reproduces those streams from pregenerated blocks of raw
+    Mersenne-Twister output.  CPython's ``getrandbits(k)`` for ``k <= 32``
+    returns the top ``k`` bits of the next 32-bit MT word, and one
+    ``getrandbits(32 * N)`` call packs ``N`` successive words little-endian —
+    so a block decodes into the exact word sequence the scalar engines consume
+    (every deflection draw uses ``k <= 3`` bits: the fan-out of the paper's
+    topologies).  Each job then advances a plain integer cursor (the
+    *counter*) through its word list, which is several times cheaper than a
+    ``getrandbits`` call per attempt and keeps the streams bit-identical per
+    job no matter how the batch interleaves them.  ``draw_counts`` tallies the
+    completed draws per job so differential tests can assert stream-consumption
+    parity with the scalar engines.
+    """
+
+    #: 32-bit MT words pregenerated per refill of one job's stream.
+    CHUNK = 2048
+
+    def __init__(self, seeds):
+        self._rngs = [random.Random(seed) for seed in seeds]
+        self._words: list[list[int]] = [[] for _ in seeds]
+        self._cursors = [0] * len(seeds)
+        self.draw_counts = [0] * len(seeds)
+
+    def _refill(self, job: int) -> int:
+        """Extend job's word list; drops the consumed prefix, returns cursor 0.
+
+        Called only when the cursor has reached the end of the list, so the
+        whole list is consumed and memory stays bounded at one block per job.
+        The list object is mutated in place (callers hold references to it).
+        """
+        words = self._words[job]
+        del words[:]
+        block = self._rngs[job].getrandbits(32 * self.CHUNK)
+        raw = block.to_bytes(4 * self.CHUNK, "little")
+        words.extend(np.frombuffer(raw, dtype="<u4").astype(np.int64).tolist())
+        return 0
+
+    def draw(self, job: int, n: int) -> int:
+        """Uniform integer in ``[0, n)`` from job ``job``'s stream.
+
+        Bit-identical to ``bounded_draw(random.Random(seed_job).getrandbits,
+        n)`` at the same point of the stream, for ``n < 2**32``.
+        """
+        shift = 32 - n.bit_length()
+        words = self._words[job]
+        cursor = self._cursors[job]
+        while True:
+            if cursor == len(words):
+                cursor = self._refill(job)
+            r = words[cursor] >> shift
+            cursor += 1
+            if r < n:
+                break
+        self._cursors[job] = cursor
+        self.draw_counts[job] += 1
+        return r
 
 
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:

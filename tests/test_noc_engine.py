@@ -256,14 +256,15 @@ class TestSweepDriver:
                         seed=2,
                     )
                 )
-        results = run_noc_sweep(jobs)
-        assert len(results) == len(jobs)
-        for job, result in zip(jobs, results):
+        outcomes = run_noc_sweep(jobs)
+        assert len(outcomes) == len(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            assert outcome.job is job
             topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
             single = BatchNocSimulator(
                 topology, job.config, routing_tables=tables, seed=job.seed
             ).run(job.traffic)
-            assert _observables(result) == _observables(single)
+            assert _observables(outcome.result) == _observables(single)
 
     def test_sweep_shares_topology_cache(self):
         cache: dict = {}
