@@ -16,11 +16,16 @@ per PE) at several batch sizes, asserts the two paths agree cycle-exactly per
 job, and records the numbers in ``benchmarks/BENCH_noc_batch_sweep.json``.
 
 Reading the recorded numbers: batching wins grow with the batch size J and
-are largest for DCM cells (pure vector path); SCM cells fund the sequential
-deflection-draw replay (the paper-exact per-job random stream) out of the
-same budget, so their ratio is lower on a single core.  The scheduler's
-``parallel="process"`` mode multiplies the serial ratio by the worker count
-on multi-core hosts; its row records the workers used.
+are largest for DCM cells (pure vector path); SCM cells also pay for the
+per-job deflection-draw replay, which PR 5 vectorized across jobs
+(:meth:`repro.utils.rng.DeflectionStreams.draw_batch` + the kernel's resume
+rounds), so their single-core ratio now clears 1.5x at J = 256 instead of
+losing to the scalar engine.  Small batches dispatch through the adaptive
+scheduler's measured cost model, which routes them to the scalar engine —
+the J = 8 row records parity, not the former 0.6x regression.  The
+scheduler's ``parallel="process"`` mode multiplies the serial ratio by the
+worker count on multi-core hosts (and quietly stays serial at one worker);
+its row records the workers used.
 """
 
 from __future__ import annotations
@@ -138,6 +143,12 @@ def test_batched_sweep_throughput(benchmark, bench_print, bench_json):
     lines = ["Job-batched NoC sweep vs PR 3 scalar engine (kautz D=3, best of "
              f"{TIMING_REPEATS}):"]
 
+    # Calibrate the scheduler's cost model up front so its one-time probe
+    # stays out of every timed region.
+    from repro.noc import scheduler_cost_model
+
+    scheduler_cost_model()
+
     def run_sizes():
         largest = _batch_sizes()[-1]
         for batch in _batch_sizes():
@@ -154,7 +165,7 @@ def test_batched_sweep_throughput(benchmark, bench_print, bench_json):
             if batch == largest:
                 # Per-policy split only at the largest batch (the headline):
                 # DCM cells run the pure vector path, SCM cells also fund the
-                # paper-exact sequential deflection replay.
+                # job-vectorized deflection-draw replay.
                 for policy in CollisionPolicy:
                     sub = [j for j in jobs if j.config.collision_policy is policy]
                     pr3_p, _ = _best_time(lambda: _run_pr3_engine(sub))
@@ -196,21 +207,46 @@ def test_batched_sweep_throughput(benchmark, bench_print, bench_json):
     )
 
     # Perf floors run on developer machines only: shared CI runners measure
-    # the reduced J=32 grid under unpredictable neighbour load, where the DCM
-    # ratio has no recorded headroom — CI records the JSON (and still enforces
-    # cycle-exactness above) without gating on wall-clock ratios.
+    # the reduced J=32 grid under unpredictable neighbour load, where the
+    # ratios have no recorded headroom — CI records the JSON (and still
+    # enforces cycle-exactness above) without gating on wall-clock ratios.
+    # The floors are the PR 5 acceptance bars: DCM ~2x, SCM >= 1.5x and
+    # overall >= 1.8x at the largest batch, and no small-batch regression
+    # (adaptive dispatch routes J=8 groups to the scalar engine).
     if not os.environ.get("CI"):
-        assert largest["dcm_speedup"] >= 1.25, (
-            f"DCM batched sweep regressed to {largest['dcm_speedup']}x"
-        )
-        assert largest["overall_speedup"] >= 1.0, (
-            f"batched sweep slower than the PR 3 engine: {largest['overall_speedup']}x"
+        if full_benchmarks_enabled():
+            # The acceptance bars only apply at the full grid's J=256; the
+            # reduced grid tops out at J=32, barely past the SCM crossover.
+            assert largest["dcm_speedup"] >= 1.8, (
+                f"DCM batched sweep regressed to {largest['dcm_speedup']}x"
+            )
+            assert largest["scm_speedup"] >= 1.5, (
+                f"SCM batched sweep regressed to {largest['scm_speedup']}x"
+            )
+            assert largest["overall_speedup"] >= 1.8, (
+                f"batched sweep slower than required: {largest['overall_speedup']}x"
+            )
+        else:
+            assert largest["dcm_speedup"] >= 1.25, (
+                f"DCM batched sweep regressed to {largest['dcm_speedup']}x"
+            )
+            # J=32 sits right at the SCM crossover, where either dispatch is
+            # within noise of parity: guard against regressions, not noise.
+            assert largest["overall_speedup"] >= 0.95, (
+                f"batched sweep slower than the PR 3 engine: "
+                f"{largest['overall_speedup']}x"
+            )
+        assert per_batch["8"]["overall_speedup"] >= 0.95, (
+            f"adaptive dispatch regressed at J=8: {per_batch['8']['overall_speedup']}x"
         )
 
 
 @pytest.mark.benchmark(group="noc-batch-sweep")
 def test_parallel_process_mode(benchmark, bench_print, bench_json):
-    """parallel="process" must be bit-identical; its speedup scales with workers."""
+    """parallel="process" must be bit-identical; its speedup scales with
+    workers — and at one worker the scheduler dispatches serially with no
+    executor at all, so the row records ~1.0x instead of PR 4's 0.84x pool
+    penalty."""
     batch = _batch_sizes()[-1] // 2 or 4
     jobs = _build_jobs(batch)
     serial_s, serial_outcomes = _best_time(lambda: run_noc_sweep(jobs), repeats=1)
@@ -242,6 +278,57 @@ def test_parallel_process_mode(benchmark, bench_print, bench_json):
             "parallel_points_per_sec": round(len(jobs) / parallel_s, 2),
             "speedup_vs_serial_scheduler": round(serial_s / parallel_s, 3),
         },
+    )
+    if not os.environ.get("CI") and workers == 1:
+        # Degenerate-case guard: one worker must cost (almost) nothing.
+        assert serial_s / parallel_s >= 0.9, (
+            f"workers=1 process dispatch regressed: {serial_s / parallel_s:.2f}x"
+        )
+
+
+@pytest.mark.benchmark(group="noc-batch-sweep")
+def test_scm_batched_smoke(benchmark, bench_print, bench_json):
+    """CI smoke: force an SCM-policy group through the batched kernel.
+
+    The main sweep smoke lets the adaptive scheduler pick engines, which on a
+    loaded CI runner can route everything scalar — this step pins the SCM
+    *batched* path (vectorized deflection replay included) cycle-exact
+    against per-job scalar runs on every CI run.
+    """
+    parallelism, degree, messages = SWEEP_SCALES[0]
+    batch = 12
+    policy_jobs = []
+    for algorithm in RoutingAlgorithm:
+        config = NocConfiguration(
+            collision_policy=CollisionPolicy.SCM
+        ).with_routing(algorithm)
+        streams = random_traffic_streams(parallelism, 40, seed=9, count=batch)
+        policy_jobs.extend(
+            NocSweepJob(
+                family="generalized-kautz",
+                parallelism=parallelism,
+                degree=degree,
+                config=config,
+                traffic=traffic,
+                seed=stream,
+            )
+            for stream, traffic in enumerate(streams)
+        )
+    pr3_results = _run_pr3_engine(policy_jobs)
+    outcomes = benchmark.pedantic(
+        lambda: run_noc_sweep(policy_jobs, min_batch=2), rounds=1, iterations=1
+    )
+    _assert_identical(policy_jobs, pr3_results, outcomes)
+    misrouted = sum(o.result.statistics.misrouted for o in outcomes)
+    assert misrouted > 0, "SCM smoke drew no deflections — not exercising the replay"
+    bench_print(
+        f"SCM batched smoke: {len(policy_jobs)} jobs cycle-exact, "
+        f"{misrouted} deflections replayed"
+    )
+    bench_json(
+        "noc_batch_sweep",
+        "scm_smoke",
+        {"jobs": len(policy_jobs), "misrouted": misrouted},
     )
 
 

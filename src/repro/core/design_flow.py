@@ -14,12 +14,13 @@ quantities tabulated in the paper's Table I.
 Simulation goes through the NoC sweep scheduler
 (:func:`~repro.noc.sweep.run_noc_sweep`): the whole grid is submitted as one
 batch of :class:`~repro.noc.sweep.NocSweepJob`s, the scheduler groups them by
-(graph, configuration) — batching groups on the job-axis cycle kernel and
-optionally sharding groups across worker processes — and every returned
-:class:`~repro.noc.sweep.NocSweepOutcome` carries its job, so design points
-are assembled from the job identity rather than input ordering.  Topologies,
-routing tables and code mappings are each built once per sweep and shared
-across all the points that reuse them.
+(graph, configuration) — dispatching each group to the job-axis cycle kernel
+or the scalar engine, whichever its measured cost model projects faster, and
+optionally sharding group chunks across worker processes — and every
+returned :class:`~repro.noc.sweep.NocSweepOutcome` carries its job, so design
+points are assembled from the job identity rather than input ordering.
+Topologies, routing tables and code mappings are each built once per sweep
+and shared across all the points that reuse them.
 """
 
 from __future__ import annotations
@@ -251,6 +252,7 @@ class DesignSpaceExplorer:
         routing_algorithms: list[RoutingAlgorithm] | None = None,
         skip_invalid: bool = True,
         parallel: str | None = None,
+        max_workers: int | None = None,
     ) -> list[DesignPoint]:
         """Evaluate the Cartesian product of topologies, parallelisms and algorithms.
 
@@ -259,11 +261,13 @@ class DesignSpaceExplorer:
         are skipped when ``skip_invalid`` is true, mirroring the paper's
         practice of only reporting feasible points.
 
-        The whole grid is submitted to the sweep scheduler as one batch;
-        ``parallel="process"`` shards the simulation groups across worker
-        processes (mapping and cost models stay in-process).  Design points
-        are assembled from each outcome's attached job, not from positional
-        bookkeeping.
+        The whole grid is submitted to the sweep scheduler as one batch; the
+        scheduler's cost model picks the fastest engine per (graph,
+        configuration) group.  ``parallel="process"`` shards the simulation
+        group chunks across up to ``max_workers`` worker processes when the
+        grid is big enough to amortize the pool (mapping and cost models stay
+        in-process).  Design points are assembled from each outcome's
+        attached job, not from positional bookkeeping.
         """
         algorithms = routing_algorithms or list(RoutingAlgorithm)
         jobs: list[NocSweepJob] = []
@@ -290,7 +294,8 @@ class DesignSpaceExplorer:
                     jobs.append(job)
                     context[id(job)] = (mapping, topology)
         outcomes = run_noc_sweep(
-            jobs, topology_cache=self._graph_cache, parallel=parallel
+            jobs, topology_cache=self._graph_cache, parallel=parallel,
+            max_workers=max_workers,
         )
         points: list[DesignPoint] = []
         for outcome in outcomes:

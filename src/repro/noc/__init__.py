@@ -55,7 +55,13 @@ from repro.noc.traffic import (
 )
 from repro.noc.engine import BatchNocSimulator, MessageArrays
 from repro.noc.engine_batch import BatchedNocKernel
-from repro.noc.sweep import NocSweepJob, NocSweepOutcome, run_noc_sweep
+from repro.noc.sweep import (
+    NocSweepJob,
+    NocSweepOutcome,
+    SweepCostModel,
+    run_noc_sweep,
+    scheduler_cost_model,
+)
 from repro.noc.results import SimulationResult
 from repro.noc.simulator import NocSimulator, ReferenceNocSimulator
 
@@ -87,7 +93,9 @@ __all__ = [
     "MessageArrays",
     "NocSweepJob",
     "NocSweepOutcome",
+    "SweepCostModel",
     "run_noc_sweep",
+    "scheduler_cost_model",
     "NocSimulator",
     "ReferenceNocSimulator",
     "SimulationResult",

@@ -34,10 +34,13 @@ traffic is ingested, and statistics (latencies, hops, misroutes) are reduced,
 as single vectorized array operations.
 
 Multi-point sweeps live one layer up: :func:`repro.noc.sweep.run_noc_sweep`
-groups jobs by (graph, configuration), dispatches groups of 2+ to the
-job-batched kernel (:mod:`repro.noc.engine_batch`) and reuses this scalar
-engine for the rest, sharing precomputed topologies and routing tables across
-all points that use the same graph.
+groups jobs by (graph, configuration) and dispatches each group to the
+job-batched kernel (:mod:`repro.noc.engine_batch`) or to this scalar engine,
+whichever its measured cost model projects faster for the group's size and
+collision policy, sharing precomputed topologies and routing tables across
+all points that use the same graph.  This engine remains the fastest path
+for small groups (and the kernel's own fallback for bounded-capacity
+configurations), so its per-run cost is as load-bearing as the kernel's.
 """
 
 from __future__ import annotations

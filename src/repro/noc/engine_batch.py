@@ -16,35 +16,45 @@ pairs:
 1. **link arrivals** — occupancy increments and high-water marks for every
    message sent on the previous cycle (one scatter, one max);
 2. **serving order** — FL keys ``(-occupancy, port)`` or RR rotation
-   positions sorted per (job, node) with one ``argsort`` over the stacked key
-   matrix (the ``np.lexsort``-style (job, node, priority) ordering), followed
-   by gathers of every candidate's head message, destination and SSP output
-   port from the dense routing matrices;
+   positions per (job, node), maintained *incrementally*: only rows whose
+   FIFO occupancies changed since the last cycle are re-keyed and re-sorted
+   (falling back to one full ``argsort`` when most rows changed), followed by
+   gathers of every candidate's head message, destination and SSP output
+   port from the dense routing matrices, restricted to the serving positions
+   actually occupied this cycle;
 3. **crossbar waves** — serving position w of *every* node of *every* job is
    arbitrated simultaneously: local deliveries take the memory port, SSP/ASP
    output-port grants clear bits of a per-(job, node) free-port mask, and
-   losers wait (DCM) or request a deflection (SCM);
+   losers wait (DCM) or request a deflection (SCM); the wave masks evolve in
+   preallocated scratch buffers (no per-wave temporaries);
 4. **PE injection** — credits, bypass runs and injection-FIFO pushes as
    ``(J, P)`` array updates.
 
-The one inherently scalar piece is the SCM deflection draw: its randomness is
-*defined* as the per-job ``random.Random`` stream consumed in (cycle, node,
-serving-position) order (see :class:`repro.utils.rng.DeflectionStreams`), and
-a draw changes how the rest of that node's pass unfolds.  Nodes that need a
-draw are therefore *suspended* at their first drawing serving position, masked
-out of the remaining waves, and replayed after the wave loop in exact (job,
-node) stream order by a pure-Python resume loop over pre-gathered candidate
-lists.  DCM groups never draw and run the vector path alone; under SCM at
-Table-I load a quarter of the node passes replay, which bounds the batching
-win there (see ``docs/noc-engine.md``, "when does batching win").
+SCM deflection draws are the one place the job axis meets a *sequential*
+contract: each job's randomness is defined as its own ``random.Random``
+stream consumed in (cycle, node, serving-position) order (see
+:class:`repro.utils.rng.DeflectionStreams`), and a draw changes how the rest
+of that node's pass unfolds.  Nodes that need a draw are therefore
+*suspended* at their first drawing serving position, masked out of the
+remaining waves, and replayed after the wave loop by a **vectorized resume**:
+suspended (job, node) passes are ordered per job, split into rounds of at
+most one pass per job (round k replays each job's k-th suspended node), and
+every round advances all of its passes in lockstep — port selection, free-
+mask updates and the bounded rejection draws themselves
+(:meth:`~repro.utils.rng.DeflectionStreams.draw_batch`) are all batched
+across jobs.  Within a job, rounds replay nodes in ascending node order and
+each batched draw advances that job's word counter by exactly its rejection
+count, so the per-job streams stay bit-identical to the scalar engines no
+matter how many jobs draw at once.
 
 Jobs that finish early are masked out (their FIFOs are empty, their serving
-orders vanish, and their injection pointers are exhausted — the per-job
-``ncycles`` is latched the cycle they drain).  Configurations the job axis
-cannot express without cross-node sequencing — bounded FIFO capacities, where
-backpressure makes node n's pass observe node n-1's pops within the same
-cycle — fall back to the scalar engine per job, so :meth:`BatchedNocKernel.run`
-is total over the configuration space.
+orders vanish, their rows stop changing — so the incremental serve-order
+maintenance skips them for free — and the per-job ``ncycles`` is latched the
+cycle they drain).  Configurations the job axis cannot express without
+cross-node sequencing — bounded FIFO capacities, where backpressure makes
+node n's pass observe node n-1's pops within the same cycle — fall back to
+the scalar engine per job, so :meth:`BatchedNocKernel.run` is total over the
+configuration space.
 
 The kernel is pinned *cycle-exact, per job*, against
 :class:`~repro.noc.engine.BatchNocSimulator` (which is itself pinned against
@@ -82,7 +92,6 @@ class _BatchedStatic:
         self.n_arcs = topology.n_arcs
         in_deg = topology.in_degrees.astype(np.int64)
         out_deg = topology.out_degrees.astype(np.int64)
-        self.out_deg = out_deg.tolist()
 
         # Flat FIFO ids exactly as the scalar engine lays them out: per node
         # its network input ports then its injection port.
@@ -120,14 +129,12 @@ class _BatchedStatic:
                     dest_port[node, port]
                 )
         self.tgt_flat = tgt.reshape(-1).astype(np.int32)
-        self.tgt_list: list[list[int]] = tgt.tolist()
 
         # Dense routing lookups.  The SSP matrix diagonal (-1: no route to
         # self) is lowered to port 0 so vectorized shifts stay defined; local
         # candidates never read it (they contend for the memory port instead).
         sp = tables.next_port_matrix.reshape(-1).astype(np.int32)
         self.sp_flat = np.where(sp < 0, 0, sp).astype(np.int32)
-        self.ap_rows = tables.next_ports  # per (node, dest) port tuples (resume path)
         ap_pad = tables.all_ports_matrix  # (n, n, K), -1 padded
         self.ap_k = ap_pad.shape[2]
         # Padding lowered to port 0 so bit shifts stay valid; the count matrix
@@ -138,19 +145,110 @@ class _BatchedStatic:
         self.ap_cnt_flat = tables.port_count_matrix.reshape(-1).astype(np.int32)
 
         self.full_mask = ((1 << out_deg) - 1).astype(np.int64)
-        self.sp_list: list[list[int]] = tables.next_port_matrix.tolist()
-
-        # Memo: free-port bitmask -> ascending tuple of free port indices (the
-        # SCM deflection candidate list of the scalar engines), and the word
-        # shift per candidate count (32 - bit_length) for the inlined draws.
-        self.deflect_sets: dict[int, tuple[int, ...]] = {}
-        self.shift_tab = [32] + [32 - k.bit_length() for k in range(1, self.max_out + 1)]
         self.rr_mode = config.routing_algorithm is RoutingAlgorithm.SSP_RR
         self.asp_mode = config.routing_algorithm.uses_all_paths
         self.scm_mode = config.collision_policy is CollisionPolicy.SCM
+        # Word shift per deflection-candidate count (32 - bit_length), for
+        # the batched rejection draws; index 0 is never consulted (a drawing
+        # candidate always has at least one free port).
+        self.shift_tab = np.array(
+            [32] + [32 - k.bit_length() for k in range(1, self.max_out + 1)],
+            dtype=np.int64,
+        )
+        # Scalar-replay lowerings (plain nested lists) for resume rounds too
+        # small to amortize vectorized dispatch, plus the memoized free-port
+        # bitmask -> ascending candidate tuple map of the scalar engines.
+        self.out_deg = out_deg.tolist()
+        self.sp_list: list[list[int]] = tables.next_port_matrix.tolist()
+        self.tgt_list: list[list[int]] = tgt.tolist()
+        self.ap_rows = tables.next_ports
+        self.deflect_sets: dict[int, tuple[int, ...]] = {}
+        # Dense bitmask lookups shared by the vectorized resume rounds
+        # (free-port mask -> deflection candidate count, and (mask, draw) ->
+        # the draw-th set bit, i.e. the scalar engines' ascending candidate
+        # list) and by the table-driven RR serve order below (occupied-slot
+        # mask -> n_occ).  Tiny for the paper's fan-outs; wide graphs fall
+        # back to on-the-fly bit math / argsort.
+        popcount_bits = 0
+        if self.rr_mode and self.fmax <= 8:
+            popcount_bits = 8
+        if self.scm_mode and self.max_out <= 10:
+            popcount_bits = max(popcount_bits, self.max_out)
+        self.popcount: np.ndarray | None = None
+        if popcount_bits:
+            self.popcount = np.array(
+                [bin(mask).count("1") for mask in range(1 << popcount_bits)],
+                dtype=np.int64,
+            )
+        self.defl_pick: np.ndarray | None = None
+        if self.scm_mode and self.max_out <= 10:
+            n_masks = 1 << self.max_out
+            pick = np.zeros((n_masks, self.max_out), dtype=np.int64)
+            for mask in range(n_masks):
+                ports = [q for q in range(self.max_out) if mask >> q & 1]
+                pick[mask, : len(ports)] = ports
+            self.defl_pick = pick
         self.config = config
         self.topology = topology
         self.tables = tables
+
+        # RR serving order depends only on (node, pointer, occupied-slot
+        # bitmask) — a finite space — so for the paper's small fan-ins the
+        # whole rotate-and-partition sort is precomputed: ``rr_fid_tab`` maps
+        # ``(node * fmax + ptr) * 256 + mask`` to the fids in serving order
+        # (occupied slots rotation-first, empties after; empty order is
+        # immaterial because serving position w only exists while w <
+        # occupied count).  ``popcount`` above turns the same mask into n_occ.
+        self.rr_fid_tab: np.ndarray | None = None
+        if self.rr_mode and self.fmax <= 8:
+            tab = np.empty((n * self.fmax * 256, self.fmax), dtype=np.int32)
+            for node in range(n):
+                fc = int(self.fcount[node])
+                fids = fid_mat[node]
+                for ptr in range(self.fmax):
+                    base = (node * self.fmax + ptr) * 256
+                    for mask in range(256):
+                        occ_slots = sorted(
+                            (s for s in range(fc) if mask >> s & 1),
+                            key=lambda s: (s - ptr) % fc,
+                        )
+                        rest = [s for s in range(self.fmax) if not (mask >> s & 1) or s >= fc]
+                        tab[base + mask] = fids[occ_slots + rest]
+            self.rr_fid_tab = tab
+
+        # FL serving order is a pure function of the pairwise occupancy
+        # comparisons (longest first, ties by slot rank), so for small
+        # fan-ins the per-cycle argsort collapses to: compute the
+        # fmax*(fmax-1)/2 comparison bits, look the permutation up.
+        self.fl_pairs: list[tuple[int, int]] | None = None
+        self.fl_perm_tab: np.ndarray | None = None
+        if not self.rr_mode and 2 <= self.fmax <= 4:
+            import functools
+
+            pairs = [
+                (i, j) for i in range(self.fmax) for j in range(i + 1, self.fmax)
+            ]
+
+            def build_cmp(code):
+                def cmp(a, b):
+                    if a == b:
+                        return 0
+                    i, j = (a, b) if a < b else (b, a)
+                    bit = code >> pairs.index((i, j)) & 1
+                    first = j if bit else i
+                    return -1 if first == a else 1
+
+                return cmp
+
+            perm = np.empty((1 << len(pairs), self.fmax), dtype=np.int8)
+            for code in range(1 << len(pairs)):
+                # Inconsistent (cyclic) codes cannot arise from real keys;
+                # sorted() still yields some permutation for their rows.
+                perm[code] = sorted(
+                    range(self.fmax), key=functools.cmp_to_key(build_cmp(code))
+                )
+            self.fl_pairs = pairs
+            self.fl_perm_tab = perm
 
 
 class BatchedNocKernel:
@@ -332,7 +430,6 @@ def _run_batched(
     else:
         fifo_spbase = fifo_node * n
         head_q = np.zeros(J * NFp, dtype=np.int32)
-        head_bit = np.zeros(J * NFp, dtype=np.int32)
 
     # ---- per-(job, node) arbitration / injection state ----------------- #
     job_row = np.repeat(np.arange(J, dtype=np.int32), n)  # (Jn,)
@@ -347,6 +444,12 @@ def _run_batched(
     fcount_row = st.fcount[node_row].astype(np.int32)
     full_row = st.full_mask[node_row].astype(np.int32)
     row_ar = np.arange(Jn, dtype=np.int32)
+    # flat fifo index -> owning (job, node) serve row, for incremental
+    # serve-order invalidation (the dummy fifo maps to node 0's row but its
+    # occupancy never changes, so the mapping is never consulted for it).
+    fid2row = (
+        np.repeat(np.arange(J, dtype=np.int32), NFp) * n + np.tile(st.fifo_node, J)
+    ).astype(np.int32)
 
     free = np.empty(Jn, dtype=np.int32)
     local_free = np.empty(Jn, dtype=bool)
@@ -371,11 +474,116 @@ def _run_batched(
     active = totals > 0
     draws = DeflectionStreams(seeds)
 
-    # Reusable per-cycle wave-mask buffers (rows [w] are written in wave
-    # order; the commit sweep only sees rows zeroed at cycle start).
+    # ---- persistent serving order, maintained incrementally ------------ #
+    # Serve keys depend only on a row's FIFO occupancies (plus its RR pointer,
+    # which only advances on cycles where the row also popped), so rows whose
+    # fifos saw no pop/push/arrival keep their order from the previous cycle.
+    # All occupancies start at zero, where both FL and RR keys sort to the
+    # identity permutation.
+    n_occ = np.zeros(Jn, dtype=np.int32)
+    serve_fid = fid_tiled.copy()
+    idx_all = jbase_nf[:, None] + serve_fid
+    chg_parts: list[np.ndarray] = []  # fifo ids whose occupancy changed
+    rr_tab = st.rr_fid_tab if rr_mode else None
+    if rr_tab is not None:
+        rr_nodebase = node_row.astype(np.int64) * (fmax * 256)
+    fl_tab = st.fl_perm_tab
+    fl_pairs = st.fl_pairs
+    # Transposed copy of the serve-slot fifo indices: gathering through it
+    # yields C-contiguous (fmax, Jn) occupancies, so the per-slot compares of
+    # the table paths below run on contiguous rows instead of strided columns.
+    fid_idx_allT = np.ascontiguousarray(fid_idx_all.T)
+
+    def _refresh_serve(ch: np.ndarray) -> None:
+        """Re-key and re-sort the serve rows owning the changed fifos."""
+        if 2 * ch.size >= Jn:
+            rows = None
+            ofT = occ[fid_idx_allT]  # (fmax, Jn)
+        else:
+            rows = np.unique(fid2row[ch])
+            ofT = occ[fid_idx_allT[:, rows]]  # (fmax, k)
+        if fl_tab is not None:
+            # Table-driven FL: the permutation is determined by which slot of
+            # each comparison pair holds the longer fifo.
+            i0, j0 = fl_pairs[0]
+            code = (ofT[j0] > ofT[i0]) * 1
+            for b in range(1, len(fl_pairs)):
+                i, j = fl_pairs[b]
+                code += (ofT[j] > ofT[i]) * (1 << b)
+            order = fl_tab[code]
+            if rows is None:
+                n_occ[:] = (ofT > 0).sum(axis=0)
+                serve_fid[:] = np.take_along_axis(fid_tiled, order, axis=1)
+                idx_all[:] = jbase_nf[:, None] + serve_fid
+            else:
+                n_occ[rows] = (ofT > 0).sum(axis=0)
+                sf = np.take_along_axis(fid_tiled[rows], order, axis=1)
+                serve_fid[rows] = sf
+                idx_all[rows] = jbase_nf[rows, None] + sf
+            return
+        if rr_tab is not None:
+            # Table-driven RR: pack the occupied slots into a bitmask and
+            # look the rotated occupied-first order straight up.
+            occupied = ofT > 0
+            mask = np.packbits(occupied, axis=0, bitorder="little")[0]
+            if rows is None:
+                tabidx = rr_nodebase + rr_ptr * np.int64(256) + mask
+                n_occ[:] = st.popcount[mask]
+                serve_fid[:] = rr_tab[tabidx]
+                idx_all[:] = jbase_nf[:, None] + serve_fid
+            else:
+                tabidx = rr_nodebase[rows] + rr_ptr[rows] * np.int64(256) + mask
+                n_occ[rows] = st.popcount[mask]
+                sf = rr_tab[tabidx]
+                serve_fid[rows] = sf
+                idx_all[rows] = jbase_nf[rows, None] + sf
+            return
+        of = ofT.T
+        occupied = of > 0
+        if rows is None:
+            n_occ[:] = occupied.sum(axis=1)
+            if rr_mode:
+                rot = rank_tiled - rr_ptr[:, None]
+                key = np.where(rot < 0, rot + fcount_row[:, None], rot)
+                key += (~occupied) * empty_penalty
+            else:
+                key = rank_tiled - (of << occ_shift)
+            order = np.argsort(key, axis=1)
+            serve_fid[:] = np.take_along_axis(fid_tiled, order, axis=1)
+            idx_all[:] = jbase_nf[:, None] + serve_fid
+            return
+        n_occ[rows] = occupied.sum(axis=1)
+        rank_k = rank_tiled[: rows.size]
+        if rr_mode:
+            rot = rank_k - rr_ptr[rows, None]
+            key = np.where(rot < 0, rot + fcount_row[rows, None], rot)
+            key += (~occupied) * empty_penalty
+        else:
+            key = rank_k - (of << occ_shift)
+        order = np.argsort(key, axis=1)
+        sf = np.take_along_axis(fid_tiled[rows], order, axis=1)
+        serve_fid[rows] = sf
+        idx_all[rows] = jbase_nf[rows, None] + sf
+
+    # Reusable per-cycle wave buffers: mask rows [w] are written in wave
+    # order (the commit sweep only sees rows zeroed at cycle start), and the
+    # per-wave mask algebra runs entirely in (Jn,) scratch vectors.
     deliver_t = np.empty((fmax, Jn), dtype=bool)
     send_t = np.empty((fmax, Jn), dtype=bool)
-    qsel_t = np.empty((fmax, Jn), dtype=np.int32) if asp_mode else None
+    or_t = np.empty((fmax, Jn), dtype=bool)
+    # zeroed, not empty: the wave loop shifts by every lane of qsel_t[w]
+    # (losers are masked after the shift), so lanes never written this cycle
+    # must still hold valid shift counts
+    qsel_t = np.zeros((fmax, Jn), dtype=np.int32) if asp_mode else None
+    v_s = np.empty(Jn, dtype=bool)
+    t1_s = np.empty(Jn, dtype=bool)
+    deliver_s = np.empty(Jn, dtype=bool)
+    nonloc_s = np.empty(Jn, dtype=bool)
+    send_s = np.empty(Jn, dtype=bool)
+    need_s = np.empty(Jn, dtype=bool) if scm_mode else None
+    tmp_i = np.empty(Jn, dtype=np.int32)
+    tmp_b = np.empty(Jn, dtype=np.int32)
+    one32 = np.int32(1)
 
     pend_idx: np.ndarray | None = None  # arrivals scheduled for the next cycle
     injecting = bool(active.any())
@@ -396,94 +604,102 @@ def _run_batched(
         if pend_idx is not None:
             occ[pend_idx] += 1
             maxocc[pend_idx] = np.maximum(maxocc[pend_idx], occ[pend_idx])
+            chg_parts.append(pend_idx)
             pend_idx = None
+        # Serving orders catch up with every occupancy change since the last
+        # pass (pops, pushes, the arrivals just applied).
+        if chg_parts:
+            ch = np.concatenate(chg_parts) if len(chg_parts) > 1 else chg_parts[0]
+            _refresh_serve(ch)
+            chg_parts = []
         send_idx_parts: list[np.ndarray] = []
         send_job_parts: list[np.ndarray] = []
         upd_parts: list[np.ndarray] = []  # fifos whose head cache needs refresh
 
-        # 2. Crossbar pass: serving orders for every (job, node), then one
-        # vectorized arbitration step per serving position ("wave").  The wave
-        # loop only evolves masks (free ports, local port, deliver/send flags);
-        # all FIFO pops, delivery stamps and downstream pushes commit in one
-        # batch afterwards.
-        occ_f = occ[fid_idx_all]  # (Jn, fmax)
-        occupied = occ_f > 0
-        n_occ = occupied.sum(axis=1)
+        # 2. Crossbar pass: one vectorized arbitration step per serving
+        # position ("wave").  The wave loop only evolves masks (free ports,
+        # local port, deliver/send flags); all FIFO pops, delivery stamps and
+        # downstream pushes commit in one batch afterwards.
         wmax = int(n_occ.max())
         if wmax:
-            if rr_mode:
-                rot = rank_tiled - rr_ptr[:, None]
-                key = np.where(rot < 0, rot + fcount_row[:, None], rot)
-                key = key + (~occupied) * empty_penalty
-            else:
-                # FL: longest fifo first, ties by port index; empty and padded
-                # slots get non-negative keys and sort after every occupied one.
-                key = rank_tiled - (occ_f << occ_shift)
-            order = np.argsort(key, axis=1)
-            serve_fid = fid_tiled[row_ar[:, None], order]
-            idx_all = jbase_nf[:, None] + serve_fid
-            idx_t = idx_all.T  # fancy-indexing with the transposed view below
-            # yields C-contiguous (fmax, Jn) results: per-wave rows are flat.
-            mid_t = head_mid[idx_t]
-            isloc_t = head_loc[idx_t]
+            idx_w = idx_all.T[:wmax]  # fancy-indexing with the transposed view
+            # yields C-contiguous (wmax, Jn) results: per-wave rows are flat,
+            # and only the serving positions occupied somewhere are gathered.
+            mid_t = head_mid[idx_w]
+            isloc_t = head_loc[idx_w]
             if asp_mode:
-                dest_t = head_dest[idx_t]
+                dest_t = head_dest[idx_w]
             else:
-                q_t = head_q[idx_t]
-                bit_t = head_bit[idx_t]
+                q_t = head_q[idx_w]
 
             np.copyto(free, full_row)
             local_free.fill(True)
-            deliver_t.fill(False)
-            send_t.fill(False)
+            dt = deliver_t[:wmax]
+            stw = send_t[:wmax]
+            dt.fill(False)
+            stw.fill(False)
             susp_rows: list[np.ndarray] = []
             susp_wave: list[int] = []
             susp_any = False
 
             for w in range(wmax):
-                v = n_occ > w
+                np.greater(n_occ, w, out=v_s)
                 if susp_any:
-                    v &= live
-                if not v.any():
+                    v_s &= live
+                if not v_s.any():
                     break
-                t1 = v & isloc_t[w]
-                deliver = t1 & local_free
-                nonloc = v ^ t1
+                np.logical_and(v_s, isloc_t[w], out=t1_s)
+                np.logical_and(t1_s, local_free, out=deliver_s)
+                np.logical_xor(v_s, t1_s, out=nonloc_s)
                 if asp_mode:
-                    ap_idx = sp_base + dest_t[w]
-                    ports = st.ap_flat[ap_idx]  # (Jn, K)
-                    usable = (rank_ap < st.ap_cnt_flat[ap_idx][:, None]) & (
-                        ((free[:, None] >> ports) & 1) > 0
+                    # Traffic spreading evaluates only the wave's non-local
+                    # candidates; beyond wave 0 those are a shrinking subset,
+                    # so the (rows, K) port scoring runs compressed.
+                    nlr = np.flatnonzero(nonloc_s)
+                    ap_idx = sp_base[nlr] + dest_t[w, nlr]
+                    ports = st.ap_flat[ap_idx]  # (k, K)
+                    usable = (rank_ap[: nlr.size] < st.ap_cnt_flat[ap_idx][:, None]) & (
+                        ((free[nlr, None] >> ports) & 1) > 0
                     )
-                    cost = sent[(row_ar[:, None] * st.max_out) + ports]
-                    score = np.where(usable, cost * (st.ap_k + 1) + rank_ap, int32_max)
+                    cost = sent[(nlr[:, None] * st.max_out) + ports]
+                    score = np.where(
+                        usable, cost * (st.ap_k + 1) + rank_ap[: nlr.size], int32_max
+                    )
                     best = np.argmin(score, axis=1)
-                    has_port = score[row_ar, best] != int32_max
-                    q = ports[row_ar, best]
-                    qsel_t[w] = q
+                    ark = row_ar[: nlr.size]
+                    has_port = score[ark, best] != int32_max
+                    q = qsel_t[w]
+                    q[nlr] = ports[ark, best]
                     bitw = np.int32(1) << q
-                    send = nonloc & has_port
+                    send_s.fill(False)
+                    send_s[nlr] = has_port
                 else:
                     q = q_t[w]
-                    bitw = bit_t[w]
-                    send = nonloc & ((free & bitw) != 0)
+                    bitw = np.left_shift(one32, q, out=tmp_b)
+                    np.bitwise_and(free, bitw, out=tmp_i)
+                    np.not_equal(tmp_i, 0, out=t1_s)
+                    np.logical_and(nonloc_s, t1_s, out=send_s)
                 if scm_mode:
-                    need = (nonloc ^ send) & (free != 0)
-                    if need.any():
+                    # need = non-local, no grantable port, some port still free
+                    np.logical_xor(nonloc_s, send_s, out=need_s)
+                    np.not_equal(free, 0, out=t1_s)
+                    need_s &= t1_s
+                    if need_s.any():
                         # A drawing candidate is non-local with no grantable
                         # port, so it is disjoint from this wave's deliver and
                         # send sets; masking ``live`` only affects later waves.
-                        rows = np.flatnonzero(need)
+                        rows = np.flatnonzero(need_s)
                         live[rows] = False
                         susp_any = True
                         susp_rows.append(rows)
                         susp_wave.append(w)
-                free -= bitw * send
-                local_free ^= deliver
-                deliver_t[w] = deliver
-                send_t[w] = send
+                np.multiply(bitw, send_s, out=tmp_i)
+                np.subtract(free, tmp_i, out=free)
+                np.logical_xor(local_free, deliver_s, out=local_free)
+                dt[w] = deliver_s
+                stw[w] = send_s
                 if asp_mode:
-                    rsw = np.flatnonzero(send)
+                    rsw = np.flatnonzero(send_s)
                     if rsw.size:
                         # Traffic spreading reads the counters within the same
                         # pass, so ASP send tallies commit per wave.
@@ -491,13 +707,16 @@ def _run_batched(
 
             # 2b. Batched commits of everything the waves granted (one nonzero
             # sweep; deliveries and sends are split off its result).
-            wp, rp = np.nonzero(deliver_t | send_t)
+            orw = or_t[:wmax]
+            np.logical_or(dt, stw, out=orw)
+            wp, rp = np.nonzero(orw)
             if wp.size:
                 pidx = idx_all[rp, wp]
                 heads[pidx] += 1
                 occ[pidx] -= 1
                 upd_parts.append(pidx)
-            dmask = deliver_t[wp, rp]
+                chg_parts.append(pidx)
+            dmask = dt[wp, rp]
             wd, rd = wp[dmask], rp[dmask]
             if wd.size:
                 del_cycle_flat[jbase_m[rd] + mid_t[wd, rd]] = cycle
@@ -516,20 +735,22 @@ def _run_batched(
                 send_idx_parts.append(sidx)
                 send_job_parts.append(job_row[rs])
 
-            # 2c. Pure-Python resume of draw-needing nodes, in exact per-job
-            # (node, serving-position) stream order, with deferred scatters.
+            # 2c. Vectorized resume of draw-needing nodes: rounds of at most
+            # one pass per job, in exact per-job (node, serving-position)
+            # stream order, with deferred scatters.
             if susp_rows:
-                buf, L = _resume_rows(
+                buf, L = _resume_suspended(
                     st, susp_rows, susp_wave, n_occ, serve_fid, mid_t,
-                    dest_flat, jbase_m, free, local_free, heads, occ, lens,
+                    dest_flat, free, local_free, heads, occ, lens,
                     buf, L, NFp, M, J, del_cycle_flat, mis_flat, delivered_j,
                     sent, draws, send_idx_parts, send_job_parts, upd_parts,
-                    cycle,
+                    chg_parts, cycle,
                 )
                 live[np.concatenate(susp_rows)] = True
 
             if rr_mode:
-                rr_ptr += n_occ > 0
+                np.greater(n_occ, 0, out=v_s)
+                rr_ptr += v_s
                 np.remainder(rr_ptr, fcount_row, out=rr_ptr)
 
         # 3. PE injection at rate R; bypass runs (RL = 0 local messages) cost
@@ -567,6 +788,7 @@ def _run_batched(
                     maxocc[sidx] = np.maximum(maxocc[sidx], occ[sidx])
                     inj_cycle_flat[jc * M + slot] = cycle
                     upd_parts.append(sidx)
+                    chg_parts.append(sidx)
                 if has_bypass:
                     c1 = np.where(rem, nb1 - inj_ptr, 0)
                     c2 = nb2 - ptr2
@@ -616,9 +838,7 @@ def _run_batched(
             if asp_mode:
                 head_dest[ch] = hd
             else:
-                hq = st.sp_flat[fifo_spbase[ch] + hd]
-                head_q[ch] = hq
-                head_bit[ch] = np.int32(1) << hq
+                head_q[ch] = st.sp_flat[fifo_spbase[ch] + hd]
         cycle += 1
         finished = active & (delivered_j >= totals)
         if finished.any():
@@ -643,52 +863,266 @@ def _grow(buf: np.ndarray, rows: int, L: int) -> tuple[np.ndarray, int]:
     return new, new_l
 
 
-def _resume_rows(
-    st, susp_rows, susp_wave, n_occ, serve_fid, mid_t, dest_flat, jbase_m,
+#: Smallest resume round worth vectorizing: below this many passes the NumPy
+#: dispatch overhead of the lockstep exceeds a plain scalar replay, so the
+#: remaining passes run through :func:`_resume_python` instead (measured
+#: crossover on the Table-I grid; see benchmarks/bench_deflection_draws.py).
+_VEC_MIN_ROUND = 96
+
+
+def _resume_suspended(
+    st, susp_rows, susp_wave, n_occ, serve_fid, mid_t, dest_flat,
     free_arr, local_free_arr, heads, occ, lens, buf, L, NFp, M, J,
     del_cycle_flat, mis_flat, delivered_j, sent, draws,
-    send_idx_parts, send_job_parts, upd_parts, cycle,
+    send_idx_parts, send_job_parts, upd_parts, chg_parts, cycle,
 ):
-    """Replay every suspended (job, node) pass from its first drawing position.
+    """Replay every suspended (job, node) pass, vectorized across jobs.
 
-    A direct port of the scalar engine's serve loop over plain Python lists:
-    the per-candidate values were already gathered by the wave pre-pass, so
-    the loop touches no NumPy state until its pops / deliveries / pushes are
-    scattered back in one batch at the end.  Rows are replayed in ascending
-    flat (job, node) order — exactly the per-job stream order in which the
-    scalar engines consume deflection draws.
+    A suspended pass must consume its job's deflection words *after* every
+    suspended pass of the same job at a lower node id and *before* every one
+    at a higher node id — but passes of different jobs are fully independent.
+    The replay therefore runs in **rounds**: suspended rows are sorted by
+    flat (job, node) id and round k replays the k-th suspended pass of every
+    job that has one.  Each round walks its passes' serving positions in
+    lockstep — the per-candidate gathers, port selection against the evolving
+    free masks, and the bounded rejection draws
+    (:meth:`~repro.utils.rng.DeflectionStreams.draw_batch`, one distinct job
+    per pass) are all batched — and each draw advances its job's word counter
+    by exactly its rejection count, which is what makes round k+1 start at
+    the very word a scalar replay would.
+
+    Round sizes shrink fast (most jobs suspend at most one node per cycle),
+    and a lockstep over a handful of passes costs more in NumPy dispatch than
+    it saves: once the current round falls under ``_VEC_MIN_ROUND`` passes,
+    all passes still owed (every not-yet-replayed rank, in sorted row order —
+    which is exactly the per-job stream order) run through the scalar
+    :func:`_resume_python` instead.  All pops / deliveries / pushes from both
+    paths are scattered back in one batch at the end.
     """
     n = st.n_nodes
+    max_out = st.max_out
+    asp, scm = st.asp_mode, st.scm_mode
     rows = susp_rows[0] if len(susp_rows) == 1 else np.concatenate(susp_rows)
-    w0s = np.repeat(
-        np.array(susp_wave, dtype=np.int64), [len(r) for r in susp_rows]
-    )
+    if len(susp_rows) == 1:
+        w0s = np.full(rows.size, susp_wave[0], dtype=np.int64)
+    else:
+        w0s = np.repeat(
+            np.array(susp_wave, dtype=np.int64), [len(r) for r in susp_rows]
+        )
     order = np.argsort(rows)  # rows are unique: one suspension per pass
     rows = rows[order]
+    w0s = w0s[order]
+    all_jobs = rows // n
+    k_total = rows.size
+    # Rank within job: rows are sorted, so each job's passes are contiguous
+    # and the round-k pass of the job starting at ``starts[g]`` sits at
+    # ``starts[g] + k`` whenever that job has more than k passes.
+    newjob = np.empty(k_total, dtype=bool)
+    newjob[0] = True
+    np.not_equal(all_jobs[1:], all_jobs[:-1], out=newjob[1:])
+    starts = np.flatnonzero(newjob)
+    counts = np.diff(np.append(starts, k_total))
+    n_rounds = int(counts.max())
+
+    int32_max = np.iinfo(np.int32).max
+    arange_out = np.arange(max_out, dtype=np.int64)
+    one64 = np.int64(1)
+    pops_parts: list[np.ndarray] = []
+    dels_parts: list[np.ndarray] = []
+    deljob_parts: list[np.ndarray] = []
+    mis_parts: list[np.ndarray] = []
+    ssidx_parts: list[np.ndarray] = []
+    smid_parts: list[np.ndarray] = []
+    sjob_parts: list[np.ndarray] = []
+
+    for round_k in range(n_rounds):
+        sel = starts[counts > round_k] + round_k
+        if sel.size < _VEC_MIN_ROUND:
+            # Every pass of rank >= round_k is still owed; sorted row order
+            # keeps each job's passes in ascending node order, so the scalar
+            # replay consumes each stream exactly where this round left it.
+            if round_k:
+                rank = np.arange(k_total) - np.repeat(starts, counts)
+                rest = rank >= round_k
+                rest_rows, rest_w0 = rows[rest], w0s[rest]
+            else:
+                rest_rows, rest_w0 = rows, w0s
+            _resume_python(
+                st, rest_rows, rest_w0, n_occ, serve_fid, mid_t, dest_flat,
+                free_arr, local_free_arr, sent, draws, M, NFp,
+                pops_parts, dels_parts, deljob_parts, mis_parts,
+                ssidx_parts, smid_parts, sjob_parts,
+            )
+            break
+        rrows = rows[sel]
+        rjobs = all_jobs[sel]
+        rnodes = rrows - rjobs * n
+        pos = w0s[sel].copy()
+        end = n_occ[rrows].astype(np.int64)
+        fr = free_arr[rrows].astype(np.int64)
+        lf = local_free_arr[rrows].copy()
+        jb_nf = rjobs * NFp
+        jb_m = rjobs * M
+        spb = rnodes.astype(np.int64) * n
+        tgt_base = rnodes * max_out
+        sfid = serve_fid[rrows]  # (k, fmax)
+        arange_k = np.arange(rrows.size)
+        popcount, defl_pick = st.popcount, st.defl_pick
+        while True:
+            # All per-pass columns stay compressed to the passes still
+            # walking their serving positions, so every op below is dense.
+            m = mid_t[pos, rrows]
+            d = dest_flat[jb_m + m]
+            isloc = d == rnodes
+            dlv = isloc & lf
+            if asp:
+                ap_idx = spb + d
+                ports = st.ap_flat[ap_idx]  # (k, K)
+                kr = np.arange(st.ap_k, dtype=np.int32)
+                usable = (kr < st.ap_cnt_flat[ap_idx][:, None]) & (
+                    ((fr[:, None] >> ports) & 1) > 0
+                )
+                cost = sent[(rrows[:, None].astype(np.int64) * max_out) + ports]
+                score = np.where(usable, cost * (st.ap_k + 1) + kr, int32_max)
+                best = np.argmin(score, axis=1)
+                ar = arange_k[: rrows.size]
+                has_port = score[ar, best] != int32_max
+                out_q = ports[ar, best].astype(np.int64)
+                can = ~isloc & has_port
+            else:
+                out_q = st.sp_flat[spb + d].astype(np.int64)
+                can = ~isloc & (((fr >> out_q) & 1) > 0)
+            send_m = can
+            if scm:
+                needs = ~(isloc | can) & (fr != 0)
+                ni = np.flatnonzero(needs)
+                if ni.size:
+                    fm = fr[ni]
+                    if defl_pick is not None:
+                        # The drawn port is the r-th set bit of the free mask
+                        # (ascending, as the scalar candidate lists) — both
+                        # count and pick come from the dense mask lookups.
+                        ncand = popcount[fm]
+                        rdraw = draws.draw_batch(
+                            rjobs[ni], ncand, shifts=st.shift_tab[ncand]
+                        )
+                        out_q[ni] = defl_pick[fm, rdraw]
+                    else:
+                        bits = (fm[:, None] >> arange_out) & 1  # (kn, max_out)
+                        ncand = bits.sum(axis=1)
+                        rdraw = draws.draw_batch(
+                            rjobs[ni], ncand, shifts=st.shift_tab[ncand]
+                        )
+                        csum = np.cumsum(bits, axis=1)
+                        out_q[ni] = np.argmax(
+                            (csum == (rdraw + 1)[:, None]) & (bits > 0), axis=1
+                        )
+                    send_m = send_m | needs
+                    mis_parts.append(jb_m[ni] + m[ni])
+            di = np.flatnonzero(dlv)
+            si = np.flatnonzero(send_m)
+            if di.size:
+                pops_parts.append(jb_nf[di] + sfid[di, pos[di]])
+                dels_parts.append(jb_m[di] + m[di])
+                deljob_parts.append(rjobs[di])
+                lf &= ~dlv
+            if si.size:
+                qo = out_q[si]
+                fr &= ~((one64 << out_q) * send_m)
+                pops_parts.append(jb_nf[si] + sfid[si, pos[si]])
+                if asp:
+                    sent[rrows[si].astype(np.int64) * max_out + qo] += 1
+                ssidx_parts.append(jb_nf[si] + st.tgt_flat[tgt_base[si] + qo])
+                smid_parts.append(m[si])
+                sjob_parts.append(rjobs[si])
+            pos += 1
+            keep = pos < end
+            if not keep.any():
+                break
+            if not keep.all():
+                rrows = rrows[keep]
+                rjobs = rjobs[keep]
+                rnodes = rnodes[keep]
+                pos = pos[keep]
+                end = end[keep]
+                fr = fr[keep]
+                lf = lf[keep]
+                jb_nf = jb_nf[keep]
+                jb_m = jb_m[keep]
+                spb = spb[keep]
+                tgt_base = tgt_base[keep]
+                sfid = sfid[keep]
+        # free / local-port state is per cycle; nothing else to write back.
+
+    if pops_parts:
+        parr = np.concatenate(pops_parts)
+        heads[parr] += 1
+        occ[parr] -= 1
+        upd_parts.append(parr)
+        chg_parts.append(parr)
+    if dels_parts:
+        del_cycle_flat[np.concatenate(dels_parts)] = cycle
+        delivered_j += np.bincount(
+            np.concatenate(deljob_parts), minlength=J
+        ).astype(np.int64)
+    if mis_parts:
+        mis_flat[np.concatenate(mis_parts)] = 1
+    if ssidx_parts:
+        sarr = np.concatenate(ssidx_parts).astype(np.int32)
+        pos = lens[sarr]
+        if int(pos.max()) >= L:
+            buf, L = _grow(buf, len(lens), L)
+        buf[sarr * L + pos] = np.concatenate(smid_parts)
+        lens[sarr] += 1
+        send_idx_parts.append(sarr)
+        send_job_parts.append(np.concatenate(sjob_parts).astype(np.int32))
+    return buf, L
+
+
+def _resume_python(
+    st, rows, w0s, n_occ, serve_fid, mid_t, dest_flat, free_arr,
+    local_free_arr, sent, draws, M, NFp,
+    pops_parts, dels_parts, deljob_parts, mis_parts,
+    ssidx_parts, smid_parts, sjob_parts,
+):
+    """Scalar replay of a small set of suspended passes, in sorted row order.
+
+    A direct port of the scalar engine's serve loop over plain Python lists:
+    the per-candidate values are gathered in a handful of batched reads, the
+    loop itself touches no NumPy state, and its pops / deliveries / pushes
+    are appended to the caller's scatter lists.  ``rows`` must be sorted by
+    flat (job, node) id — the per-job stream order — and each drawing
+    candidate consumes its job's word stream through the shared
+    :class:`~repro.utils.rng.DeflectionStreams` scalar path, so the replay is
+    interchangeable with the vectorized rounds draw for draw.
+    """
+    n = st.n_nodes
+    asp, scm = st.asp_mode, st.scm_mode
     sub_l = rows.tolist()
-    w0_l = w0s[order].tolist()
+    jobs = rows // n
+    w0_l = w0s.tolist()
     sf_l = serve_fid[rows].tolist()
-    mids = mid_t[:, rows]
+    mids = mid_t[:, rows]  # (wmax, r)
     mid_l = mids.T.tolist()
-    dest_l = dest_flat[jbase_m[rows][None, :] + mids].T.tolist()
+    dest_l = dest_flat[(jobs * M)[None, :] + mids].T.tolist()
     free_l = free_arr[rows].tolist()
     lf_l = local_free_arr[rows].tolist()
     nocc_l = n_occ[rows].tolist()
-    asp, scm = st.asp_mode, st.scm_mode
     if asp:
         sent2 = sent.reshape(-1, st.max_out)
         sent_l = sent2[rows].tolist()
     sp_list, tgt_list = st.sp_list, st.tgt_list
     deflect_sets = st.deflect_sets
-    # Inlined DeflectionStreams state: per-job word lists and cursors (the
-    # counters), walked with plain integer ops in the hot loop below.
-    all_words = draws._words
-    all_cursors = draws._cursors
-    draw_counts = draws.draw_counts
-    shift_tab = st.shift_tab
+    # Inlined DeflectionStreams state: the bounded word walk below is the
+    # scalar draw() with the per-call overhead stripped (the cursor array and
+    # word matrix are shared with the vectorized rounds, draw for draw).
+    shift_l = st.shift_tab.tolist()
+    cursors = draws._cursors
+    chunk = draws.chunk
+    counts = draws.draw_counts
     pops: list[int] = []
     dels: list[int] = []
-    dcounts = [0] * J
+    deljobs: list[int] = []
     mis: list[int] = []
     s_sidx: list[int] = []
     s_mid: list[int] = []
@@ -707,8 +1141,6 @@ def _resume_rows(
             ap_row = st.ap_rows[node]
             se = sent_l[i]
         out_deg = st.out_deg[node]
-        words = all_words[j]
-        cursor = all_cursors[j]
         for w in range(w0_l[i], nocc_l[i]):
             mid = ml[w]
             dest = dl[w]
@@ -716,7 +1148,7 @@ def _resume_rows(
                 if lf:
                     pops.append(jb_nf + sf[w])
                     dels.append(jb_m + mid)
-                    dcounts[j] += 1
+                    deljobs.append(j)
                     lf = False
                 continue
             out = -1
@@ -739,17 +1171,24 @@ def _resume_rows(
                 if candidates is None:
                     candidates = tuple(q for q in range(out_deg) if free >> q & 1)
                     deflect_sets[free] = candidates
-                # Inlined word-stream bounded draw (DeflectionStreams.draw).
                 n_cand = len(candidates)
-                shift = shift_tab[n_cand]
+                shift = shift_l[n_cand]
+                cursor = int(cursors[j])
+                if cursor == chunk:
+                    word_row = draws._refill(j)[j]
+                    cursor = 0
+                else:
+                    word_row = draws._words[j]
                 while True:
-                    if cursor == len(words):
-                        cursor = draws._refill(j)
-                    r = words[cursor] >> shift
+                    r = int(word_row[cursor]) >> shift
                     cursor += 1
                     if r < n_cand:
                         break
-                draw_counts[j] += 1
+                    if cursor == chunk:
+                        word_row = draws._refill(j)[j]
+                        cursor = 0
+                cursors[j] = cursor
+                counts[j] += 1
                 out = candidates[r]
                 mis.append(jb_m + mid)
             pops.append(jb_nf + sf[w])
@@ -759,31 +1198,21 @@ def _resume_rows(
             s_sidx.append(jb_nf + tgt_row[out])
             s_mid.append(mid)
             s_job.append(j)
-        all_cursors[j] = cursor
         # free / local-port state is per cycle; nothing else to write back.
 
     if pops:
-        parr = np.array(pops, dtype=np.int32)
-        heads[parr] += 1
-        occ[parr] -= 1
-        upd_parts.append(parr)
+        pops_parts.append(np.array(pops, dtype=np.int64))
     if dels:
-        del_cycle_flat[np.array(dels, dtype=np.int32)] = cycle
-        delivered_j += np.asarray(dcounts, dtype=np.int64)
+        dels_parts.append(np.array(dels, dtype=np.int64))
+        deljob_parts.append(np.array(deljobs, dtype=np.int64))
     if mis:
-        mis_flat[np.array(mis, dtype=np.int32)] = 1
+        mis_parts.append(np.array(mis, dtype=np.int64))
     if s_sidx:
-        sarr = np.array(s_sidx, dtype=np.int32)
-        pos = lens[sarr]
-        if int(pos.max()) >= L:
-            buf, L = _grow(buf, len(lens), L)
-        buf[sarr * L + pos] = np.array(s_mid, dtype=np.int32)
-        lens[sarr] += 1
-        send_idx_parts.append(sarr)
-        send_job_parts.append(np.array(s_job, dtype=np.int32))
+        ssidx_parts.append(np.array(s_sidx, dtype=np.int64))
+        smid_parts.append(np.array(s_mid, dtype=np.int32))
+        sjob_parts.append(np.array(s_job, dtype=np.int64))
     if asp:
         sent2[rows] = sent_l
-    return buf, L
 
 
 def _collect_batched(

@@ -1,20 +1,28 @@
-"""NoC sweep scheduler: group jobs, batch them, optionally shard across processes.
+"""NoC sweep scheduler: group jobs, dispatch each group to its fastest engine.
 
 PR 3's sweep driver walked jobs strictly sequentially through one scalar
-engine per (graph, configuration).  This module replaces it with a
-*scheduler*:
+engine per (graph, configuration).  This module replaces it with an
+*adaptive scheduler*:
 
 1. jobs are **grouped** by ``(family, parallelism, degree, configuration,
    max_cycles)`` — everything the batched kernel shares across a group;
 2. each group is dispatched to the job-batched cycle kernel
-   (:class:`~repro.noc.engine_batch.BatchedNocKernel`), which advances all of
-   the group's jobs one cycle per vectorized step; groups too small to batch
-   (or configurations the job axis cannot express, e.g. bounded-capacity
-   backpressure) run through the scalar engine instead;
+   (:class:`~repro.noc.engine_batch.BatchedNocKernel`) **or** the scalar
+   engine, whichever a measured :class:`SweepCostModel` — calibrated once per
+   process on a probe workload and cached — projects to be faster for the
+   group's size and collision policy.  Configurations the job axis cannot
+   express (bounded-capacity backpressure) always run scalar, inside the
+   kernel's own fallback;
 3. with ``parallel="process"`` the groups are sharded across a
-   :class:`concurrent.futures.ProcessPoolExecutor`; each worker process
-   builds (and caches) topologies and routing tables once, so graph
-   construction is paid per worker, not per job.
+   :class:`concurrent.futures.ProcessPoolExecutor` — but only when the cost
+   model projects the sweep is big enough to amortize the pool: one worker
+   (or a sweep projected to finish faster than the pool spins up) dispatches
+   serially with no executor at all.  Oversized groups are split into
+   worker-sized chunks so the work spreads across the pool and no single
+   pickle payload carries a whole grid; chunked results are bit-identical
+   because the kernel is cycle-exact *per job* regardless of batch mates.
+   Each worker process builds (and caches) topologies and routing tables
+   once, so graph construction is paid per worker, not per job.
 
 Results are returned as :class:`NocSweepOutcome` records that carry the
 originating :class:`NocSweepJob`, so callers match results to jobs by
@@ -29,20 +37,28 @@ still reproduce exactly what two freshly seeded engines would.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ConfigurationError
-from repro.noc.config import NocConfiguration
+from repro.noc.config import CollisionPolicy, NocConfiguration
 from repro.noc.engine import BatchNocSimulator
 from repro.noc.engine_batch import BatchedNocKernel
 from repro.noc.results import SimulationResult
 from repro.noc.routing import build_routing_tables
 from repro.noc.topologies import build_topology
-from repro.noc.traffic import TrafficPattern
+from repro.noc.traffic import TrafficPattern, random_traffic_streams
 
-__all__ = ["NocSweepJob", "NocSweepOutcome", "run_noc_sweep"]
+__all__ = [
+    "NocSweepJob",
+    "NocSweepOutcome",
+    "SweepCostModel",
+    "run_noc_sweep",
+    "scheduler_cost_model",
+]
 
 
 @dataclass(frozen=True)
@@ -72,9 +88,173 @@ class NocSweepOutcome:
     result: SimulationResult
 
 
-#: Smallest group size worth stacking on the kernel's job axis; below this the
-#: scalar engine is dispatched directly (no dense batch state to build).
+#: Hard floor under which batching is never attempted (a batch of one gains
+#: nothing from stacking); also the legacy default for explicit ``min_batch``.
 MIN_BATCH = 2
+
+#: Calibration probe: a Table-I-scale generalized-Kautz workload per
+#: collision policy, timed once per process.  The probe must run at the
+#: paper's network size *and* sample batch sizes on both sides of the
+#: kernel's vectorized-resume threshold (``_VEC_MIN_ROUND``) — the SCM cost
+#: curve kinks there, so an affine fit through small batches alone would
+#: spuriously conclude SCM batching can never win.  The whole calibration
+#: costs well under a second, cached for every later sweep of the process.
+_PROBE_SPEC = ("generalized-kautz", 16, 3)
+_PROBE_MESSAGES = 48
+_PROBE_SIZES = (8, 24, 128)
+
+#: Groups smaller than this always run the scalar engine, with no
+#: calibration: every recorded host loses on batches this small (the stacked
+#: bookkeeping cannot amortize), and skipping the probe keeps tiny sweeps —
+#: single design points, unit tests — free of the calibration cost.
+_ADAPTIVE_SCALAR_UNDER = 8
+
+#: Sweeps projected to finish serially faster than this never pay for a
+#: process pool (executor spin-up plus per-task pickling costs this order of
+#: magnitude on its own).
+_PROCESS_MIN_SERIAL_S = 0.25
+
+#: Chunks per worker when sharding groups across a pool: more than one chunk
+#: per worker keeps the pool busy when group runtimes differ.
+_CHUNKS_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class SweepCostModel:
+    """Measured per-process cost model behind the scheduler's dispatch choices.
+
+    All times come from one probe workload (:data:`_PROBE_SPEC`):
+    ``scalar_point_s`` is the scalar engine's per-point cost, and
+    ``batch_samples`` holds the batched kernel's measured whole-group cost at
+    each probe batch size.  The batched cost curve is *not* affine — it kinks
+    where the kernel's vectorized resume rounds start to engage — so the
+    model interpolates it piecewise-linearly between samples (extrapolating
+    the outermost segments) and dispatch simply picks, per group, the engine
+    with the lower projected cost.
+    """
+
+    scalar_point_s: dict[CollisionPolicy, float]
+    #: Per policy: ascending ``(J, measured whole-group seconds)`` samples.
+    batch_samples: dict[CollisionPolicy, tuple[tuple[int, float], ...]]
+    probe_parallelism: int = _PROBE_SPEC[1]
+
+    #: Batching must project at least this relative win before it is picked:
+    #: around the bare crossover either engine is within noise of the other,
+    #: and the probe's piecewise fit is least trustworthy exactly there, so
+    #: the scheduler only leaves the scalar engine for a clear projected win.
+    #: SCM's cost curve is the flatter and noisier of the two (the deflection
+    #: replay mixes scalar and vectorized regimes), hence its wider margin.
+    WIN_MARGIN = {CollisionPolicy.DCM: 0.9, CollisionPolicy.SCM: 0.85}
+
+    #: Dispatch never projects beyond this group size (groups larger than any
+    #: crossover the probe could witness simply batch).
+    SEARCH_LIMIT = 2048
+
+    def batch_cost_s(self, policy: CollisionPolicy, group_size: int) -> float:
+        """Projected batched-kernel cost of one group, piecewise-linear.
+
+        Below the first probe sample the cost scales proportionally from it
+        instead of extrapolating the first segment downward — a noisy
+        super-linear segment would otherwise project negative (i.e. bogusly
+        winning) costs for tiny groups.
+        """
+        samples = self.batch_samples[policy]
+        j0, t0 = samples[0]
+        if group_size <= j0 or len(samples) == 1:
+            return t0 * group_size / j0
+        lo, hi = samples[0], samples[1]
+        for nxt in samples[2:]:
+            if group_size <= hi[0]:
+                break
+            lo, hi = hi, nxt
+        (j0, t0), (j1, t1) = lo, hi
+        slope = (t1 - t0) / (j1 - j0)
+        return t0 + slope * (group_size - j0)
+
+    def batch_wins(self, policy: CollisionPolicy, group_size: int) -> bool:
+        """Whether the batched kernel clearly wins a group of this size."""
+        scalar = self.scalar_point_s[policy] * self.WIN_MARGIN[policy]
+        return self.batch_cost_s(policy, group_size) < scalar * group_size
+
+    def min_batch(self, policy: CollisionPolicy) -> int:
+        """Smallest group size the batched kernel is projected to clearly win at."""
+        for group_size in range(MIN_BATCH, self.SEARCH_LIMIT + 1):
+            if self.batch_wins(policy, group_size):
+                return group_size
+        return 1 << 30
+
+    def projected_serial_s(self, policy: CollisionPolicy, group_size: int,
+                           parallelism: int) -> float:
+        """Projected serial cost of one group, on whichever engine dispatch picks.
+
+        Scaled linearly from the probe's node count — a deliberately crude
+        floor used only to decide whether a process pool is worth spinning up.
+        """
+        scale = max(parallelism, 1) / self.probe_parallelism
+        scalar = self.scalar_point_s[policy] * group_size
+        return min(scalar, self.batch_cost_s(policy, group_size)) * scale
+
+
+def _best_time(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _calibrate() -> SweepCostModel:
+    """Time the probe workload through both engines, once per process."""
+    family, parallelism, degree = _PROBE_SPEC
+    topology = build_topology(family, parallelism, degree)
+    tables = build_routing_tables(topology)
+    count = max(_PROBE_SIZES)
+    scalar_point_s: dict[CollisionPolicy, float] = {}
+    batch_samples: dict[CollisionPolicy, tuple[tuple[int, float], ...]] = {}
+    scalar_jobs = _PROBE_SIZES[0]
+    for policy in CollisionPolicy:
+        config = NocConfiguration(collision_policy=policy)
+        traffics = random_traffic_streams(
+            parallelism, _PROBE_MESSAGES, seed=17, count=count
+        )
+        seeds = list(range(count))
+        engine = BatchNocSimulator(topology, config, routing_tables=tables, seed=0)
+        kernel = BatchedNocKernel(topology, config, routing_tables=tables)
+        # Warm both paths so one-time lazy state stays out of the timings.
+        engine.run(traffics[0], seed=seeds[0])
+        kernel.run(traffics[:2], seeds[:2])
+        scalar_s = _best_time(
+            lambda: [
+                engine.run(t, seed=s)
+                for t, s in zip(traffics[:scalar_jobs], seeds[:scalar_jobs])
+            ]
+        )
+        scalar_point_s[policy] = scalar_s / scalar_jobs
+        samples = []
+        for size in _PROBE_SIZES:
+            # Best-of-2 everywhere: the largest sample sets the slope the
+            # whole-grid extrapolation rides on, so its noise matters most.
+            group_s = _best_time(
+                lambda size=size: kernel.run(traffics[:size], seeds[:size])
+            )
+            samples.append((size, group_s))
+        batch_samples[policy] = tuple(samples)
+    return SweepCostModel(
+        scalar_point_s=scalar_point_s,
+        batch_samples=batch_samples,
+    )
+
+
+_COST_MODEL: SweepCostModel | None = None
+
+
+def scheduler_cost_model() -> SweepCostModel:
+    """The process-wide cost model, calibrating it on first use."""
+    global _COST_MODEL
+    if _COST_MODEL is None:
+        _COST_MODEL = _calibrate()
+    return _COST_MODEL
 
 
 def run_noc_sweep(
@@ -82,9 +262,9 @@ def run_noc_sweep(
     topology_cache: dict | None = None,
     parallel: str | None = None,
     max_workers: int | None = None,
-    min_batch: int = MIN_BATCH,
+    min_batch: int | None = None,
 ) -> list[NocSweepOutcome]:
-    """Run many sweep points through grouped, batched engines.
+    """Run many sweep points through grouped, adaptively batched engines.
 
     Parameters
     ----------
@@ -99,15 +279,20 @@ def run_noc_sweep(
         several sweeps.  Used (and populated) by the serial path only — worker
         processes keep their own per-process caches.
     parallel:
-        ``None`` (serial, default) or ``"process"`` to shard groups across a
-        process pool.  Both paths produce bit-identical outcomes.
+        ``None`` (serial, default) or ``"process"`` to shard group chunks
+        across a process pool.  Both paths produce bit-identical outcomes,
+        and ``"process"`` quietly dispatches serially when only one worker is
+        available or the sweep is projected to finish before a pool would
+        spin up.
     max_workers:
-        Worker count for ``parallel="process"`` (default: executor default).
+        Worker count for ``parallel="process"`` (default: ``os.cpu_count()``).
     min_batch:
-        Smallest group size dispatched to the job-batched kernel; smaller
-        groups run the scalar engine.  The default batches every group of two
-        or more; raise it on hosts where small batches do not pay off (see
-        ``docs/noc-engine.md``, "when does batching win").
+        ``None`` (default) lets the measured per-process
+        :class:`SweepCostModel` pick scalar vs batched per group (the
+        crossover depends on the collision policy: SCM groups fund the
+        deflection replay and cross over later than DCM groups).  An explicit
+        integer restores the static threshold: groups of at least
+        ``min_batch`` jobs batch, smaller ones run the scalar engine.
 
     Returns
     -------
@@ -119,14 +304,62 @@ def run_noc_sweep(
         raise ConfigurationError(
             f"parallel must be None or 'process', got {parallel!r}"
         )
+    if min_batch is not None and min_batch < 1:
+        raise ConfigurationError(f"min_batch must be positive, got {min_batch}")
     # Group jobs by everything the batched kernel shares.
     groups: dict[tuple, list[int]] = {}
     for index, job in enumerate(jobs):
         key = (job.family, job.parallelism, job.degree, job.config, job.max_cycles)
         groups.setdefault(key, []).append(index)
 
+    # Resolve every group's engine up front (the decision is cheap and the
+    # worker processes then never need their own calibration).  Calibration
+    # itself only triggers once a group is big enough that batching could
+    # plausibly win.  ``floors`` records, per batched group, the smallest
+    # chunk that should still run batched, so process sharding never splits a
+    # batched group into chunks the model would route scalar.
+    model: SweepCostModel | None = None
+    thresholds: dict[CollisionPolicy, int] = {}
+    decisions: dict[tuple, bool] = {}
+    floors: dict[tuple, int] = {}
+    for key, indices in groups.items():
+        policy = key[3].collision_policy
+        if min_batch is not None:
+            floor = max(min_batch, MIN_BATCH)
+            decisions[key] = len(indices) >= floor
+            floors[key] = floor
+            continue
+        if len(indices) < _ADAPTIVE_SCALAR_UNDER:
+            decisions[key] = False
+            floors[key] = 1
+            continue
+        if model is None:
+            model = scheduler_cost_model()
+        decisions[key] = model.batch_wins(policy, len(indices))
+        if decisions[key]:
+            floor = thresholds.get(policy)
+            if floor is None:
+                floor = thresholds[policy] = model.min_batch(policy)
+            floors[key] = floor
+        else:
+            floors[key] = 1
+
+    use_pool = False
+    workers = 1
+    if parallel == "process":
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if workers > 1:
+            if model is None:
+                model = scheduler_cost_model()
+            projected = sum(
+                model.projected_serial_s(
+                    key[3].collision_policy, len(indices), key[1]
+                )
+                for key, indices in groups.items()
+            )
+            use_pool = projected >= _PROCESS_MIN_SERIAL_S
     results: list[SimulationResult | None] = [None] * len(jobs)
-    if parallel is None:
+    if not use_pool:
         cache: dict = topology_cache if topology_cache is not None else {}
         for key, indices in groups.items():
             family, parallelism, degree, config, max_cycles = key
@@ -139,21 +372,22 @@ def run_noc_sweep(
                 topology, tables, config, max_cycles,
                 [jobs[i].traffic for i in indices],
                 [jobs[i].seed for i in indices],
-                min_batch,
+                decisions[key],
             )
             for i, result in zip(indices, group_results):
                 results[i] = result
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        chunks = _shard_groups(groups, decisions, floors, len(jobs), workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _process_group,
+                    _process_chunk,
                     key,
                     [jobs[i].traffic for i in indices],
                     [jobs[i].seed for i in indices],
-                    min_batch,
+                    batched,
                 ): indices
-                for key, indices in groups.items()
+                for key, indices, batched in chunks
             }
             for future, indices in futures.items():
                 for i, result in zip(indices, future.result()):
@@ -161,16 +395,50 @@ def run_noc_sweep(
     return [NocSweepOutcome(job=job, result=result) for job, result in zip(jobs, results)]
 
 
+def _shard_groups(
+    groups: dict[tuple, list[int]],
+    decisions: dict[tuple, bool],
+    floors: dict[tuple, int],
+    total_jobs: int,
+    workers: int,
+) -> list[tuple[tuple, list[int], bool]]:
+    """Split oversized groups into worker-sized chunks of one group each.
+
+    The cap targets :data:`_CHUNKS_PER_WORKER` chunks per worker across the
+    whole sweep, so a single huge group spreads over the pool instead of
+    serializing on one worker — and no single task pickles the entire grid.
+    Batched groups are never split below their ``floors[key]`` (the smallest
+    size the cost model still projects a batched win at), and a sub-floor
+    tail chunk is re-dispatched scalar rather than inheriting the full
+    group's decision.  Chunking preserves results exactly: the kernel is
+    cycle-exact per job, so a group's jobs can batch in any partition.
+    """
+    cap = max(total_jobs // (workers * _CHUNKS_PER_WORKER), 1)
+    chunks: list[tuple[tuple, list[int], bool]] = []
+    for key, indices in groups.items():
+        batched = decisions[key]
+        size_cap = max(cap, floors[key]) if batched else cap
+        if len(indices) <= size_cap:
+            chunks.append((key, indices, batched))
+            continue
+        n_chunks = -(-len(indices) // size_cap)
+        size = -(-len(indices) // n_chunks)
+        for lo in range(0, len(indices), size):
+            chunk = indices[lo : lo + size]
+            chunks.append((key, chunk, batched and len(chunk) >= floors[key]))
+    return chunks
+
+
 def _run_group(
-    topology, tables, config, max_cycles, traffics, seeds, min_batch=MIN_BATCH
+    topology, tables, config, max_cycles, traffics, seeds, batched: bool
 ) -> list[SimulationResult]:
-    """Run one (graph, configuration) group, batched when it pays off.
+    """Run one (graph, configuration) group on the engine dispatch picked.
 
     Engines are constructed seed-independently (the kernel takes no seed at
     all; the scalar engine gets ``seed=0`` and per-job seeds at ``run`` only),
     so reuse across same-group jobs with different seeds is exact.
     """
-    if len(traffics) >= min_batch:
+    if batched and len(traffics) >= MIN_BATCH:
         kernel = BatchedNocKernel(
             topology, config, routing_tables=tables, max_cycles=max_cycles
         )
@@ -183,16 +451,16 @@ def _run_group(
 
 #: Per-worker-process graph cache: topologies and routing tables are built
 #: once per (family, parallelism, degree) in each worker, then shared across
-#: every group that worker executes.
+#: every chunk that worker executes.
 _WORKER_GRAPHS: dict = {}
 
 
-def _process_group(key, traffics, seeds, min_batch=MIN_BATCH) -> list[SimulationResult]:
-    """Worker entry point: build/cache the graph, then run the group."""
+def _process_chunk(key, traffics, seeds, batched: bool) -> list[SimulationResult]:
+    """Worker entry point: build/cache the graph, then run one group chunk."""
     family, parallelism, degree, config, max_cycles = key
     graph_key = (family, parallelism, degree)
     if graph_key not in _WORKER_GRAPHS:
         topology = build_topology(family, parallelism, degree)
         _WORKER_GRAPHS[graph_key] = (topology, build_routing_tables(topology))
     topology, tables = _WORKER_GRAPHS[graph_key]
-    return _run_group(topology, tables, config, max_cycles, traffics, seeds, min_batch)
+    return _run_group(topology, tables, config, max_cycles, traffics, seeds, batched)

@@ -177,6 +177,62 @@ class TestDifferentialKernelVsEngine:
         kernel = BatchedNocKernel(topology, config, routing_tables=tables)
         assert [_observables(r) for r in kernel.run(traffics, seeds)] == expected
 
+    @pytest.mark.parametrize("batch", [2, 8, 256])
+    @pytest.mark.parametrize("algorithm", list(RoutingAlgorithm))
+    def test_scm_cycle_exact_across_batch_sizes(self, batch, algorithm):
+        """SCM batches stay cycle-exact at every replay regime: tiny batches
+        (pure scalar replay), mid batches, and J=256 (vectorized resume
+        rounds engage above their minimum round size)."""
+        topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
+        config = NocConfiguration(collision_policy=CollisionPolicy.SCM).with_routing(
+            algorithm
+        )
+        traffics = [random_traffic(8, 6, seed=400 + i) for i in range(batch)]
+        seeds = [i * 7 + 1 for i in range(batch)]
+        kernel = BatchedNocKernel(topology, config, routing_tables=tables)
+        results = kernel.run(traffics, seeds)
+        engine = BatchNocSimulator(topology, config, routing_tables=tables, seed=0)
+        expected = [
+            _observables(engine.run(t, seed=s)) for t, s in zip(traffics, seeds)
+        ]
+        assert [_observables(r) for r in results] == expected
+
+    @pytest.mark.parametrize("algorithm", list(RoutingAlgorithm))
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            # small fan-out: dense deflection mask lookups
+            ("generalized-kautz", 8, 3),
+            # fan-out beyond the mask-table gate: on-the-fly bit math
+            ("generalized-de-bruijn", 24, 15),
+        ],
+    )
+    def test_scm_vectorized_resume_rounds_cycle_exact(
+        self, spec, algorithm, monkeypatch
+    ):
+        """Force every resume round through the vectorized lockstep (no
+        scalar fallback) and pin it against per-job scalar runs."""
+        import repro.noc.engine_batch as engine_batch
+
+        monkeypatch.setattr(engine_batch, "_VEC_MIN_ROUND", 1)
+        topology, tables = _topology_and_tables(spec)
+        n = topology.n_nodes
+        config = NocConfiguration(collision_policy=CollisionPolicy.SCM).with_routing(
+            algorithm
+        )
+        traffics = [random_traffic(n, 25, seed=500 + i) for i in range(4)]
+        seeds = [31, 32, 33, 34]
+        kernel = BatchedNocKernel(topology, config, routing_tables=tables)
+        results = kernel.run(traffics, seeds)
+        engine = BatchNocSimulator(topology, config, routing_tables=tables, seed=0)
+        expected = [
+            _observables(engine.run(t, seed=s)) for t, s in zip(traffics, seeds)
+        ]
+        assert [_observables(r) for r in results] == expected
+        if spec[0] == "generalized-kautz":
+            # the degree-3 graph must actually deflect under this load
+            assert sum(r.statistics.misrouted for r in results) > 0
+
     def test_deflection_draw_counts_match_scalar_streams(self):
         """The batch consumes exactly the scalar engines' per-job draw counts."""
         topology, tables = _topology_and_tables(("generalized-kautz", 8, 3))
@@ -309,7 +365,7 @@ class TestDeflectionStreams:
         for job, reference in enumerate(references):
             for n in draw_pattern:
                 assert streams.draw(job, n) == bounded_draw(reference, n)
-        assert streams.draw_counts == [len(draw_pattern)] * len(seeds)
+        assert streams.draw_counts.tolist() == [len(draw_pattern)] * len(seeds)
 
     def test_streams_are_independent_per_job(self):
         streams = DeflectionStreams([7, 7])
