@@ -1,0 +1,211 @@
+"""Benchmark: analytical screening vs exhaustive design-space exploration.
+
+The headline (slow, ``--runslow``/``REPRO_RUN_SLOW=1``) benchmark runs a
+Table-I-style grid at least 4x the default benchmark grid (6 topology groups
+x 17 parallelism degrees x 3 routing algorithms, WiMAX LDPC n = 2304) twice:
+
+* exhaustively — every feasible candidate is simulated cycle-exactly;
+* screened — every candidate is *ranked* by the analytical model
+  (:class:`repro.noc.AnalyticalNocModel`) and only the top ``confirm_top``
+  per objective are simulated.
+
+Graphs, routing tables and code mappings are warmed untimed (both flows
+need them identically); the timed regions isolate what differs.  The
+screened flow is timed twice: the first pass pays the one-time cycle-exact
+contention-fit probes, the second is the steady state (fits are keyed by
+(family, degree, routing, policy) only, so every later exploration — any
+code, any grid — reuses them).  The recorded headline ``speedup`` is the
+amortized one; ``speedup_cold`` records the first-run ratio.  Results land
+in ``BENCH_noc_analytical.json``.
+
+The quick smoke test (always on; CI runs it with ``--benchmark-disable``)
+exercises screened exploration on a reduced grid with the persistent sweep
+cache, twice, asserting the second pass is served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import DecoderSpec, DesignSpaceExplorer, wimax_ldpc_code
+from repro.noc import NocSweepCache
+
+#: Same topology groups as the Table-I benchmark.
+TOPOLOGIES = [
+    ("generalized-de-bruijn", 2),
+    ("generalized-kautz", 2),
+    ("spidergon", 3),
+    ("generalized-kautz", 3),
+    ("honeycomb", 4),
+    ("generalized-kautz", 4),
+]
+
+#: 17 parallelism degrees vs the default benchmark's 2 — with 6 topology
+#: groups and 3 routing algorithms this enumerates ~270 feasible candidates,
+#: >= 7x the 36-point default Table-I grid.  This is the regime screening is
+#: for: a grid nobody would simulate exhaustively during design iteration.
+BIG_PARALLELISMS = list(range(12, 45, 2))
+
+#: The default Table-I benchmark grid this bench's grid is measured against.
+TABLE1_DEFAULT_POINTS = 36
+
+SMOKE_TOPOLOGIES = [("generalized-kautz", 3), ("spidergon", 3)]
+SMOKE_PARALLELISMS = [8, 16]
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="noc-analytical")
+def test_analytical_screening_speedup(benchmark, bench_print, bench_json):
+    """Screened exploration is >= 10x faster than exhaustive on a 4x grid."""
+    code = wimax_ldpc_code(2304, "1/2")
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=2), seed=0)
+
+    def screened_run():
+        return explorer.explore(
+            code, TOPOLOGIES, BIG_PARALLELISMS,
+            screen="analytical", confirm_top=5,
+        )
+
+    # Untimed warm-up of the infrastructure BOTH flows need identically:
+    # built topologies, routing tables and code mappings.  What remains in
+    # the timed regions is exactly what differs — simulate everything vs
+    # estimate everything and simulate the shortlist.
+    for family, degree in TOPOLOGIES:
+        for parallelism in BIG_PARALLELISMS:
+            try:
+                explorer._cached_graph(family, degree, parallelism)
+                explorer._cached_ldpc_mapping(code, parallelism)
+            except Exception:
+                continue  # infeasible cell; explore() skips it too
+
+    t0 = time.perf_counter()
+    exhaustive = explorer.explore(code, TOPOLOGIES, BIG_PARALLELISMS, screen=None)
+    exhaustive_seconds = time.perf_counter() - t0
+
+    # First screened pass pays the one-time contention fits (cycle-exact
+    # probes per (family, routing, policy) key) inside the timed region.
+    t0 = time.perf_counter()
+    screened = screened_run()
+    screened_cold_seconds = time.perf_counter() - t0
+
+    # Second pass is the steady state: the fits are keyed by (family,
+    # degree, routing, policy) only — independent of the code, the traffic
+    # and the grid — so every later exploration reuses them.
+    t0 = time.perf_counter()
+    screened_warm = benchmark.pedantic(screened_run, rounds=1, iterations=1)
+    screened_seconds = time.perf_counter() - t0
+
+    assert screened_warm.winners.keys() == screened.winners.keys()
+    speedup = exhaustive_seconds / screened_seconds
+    speedup_cold = exhaustive_seconds / screened_cold_seconds
+    winners_match = {
+        objective: (
+            exhaustive.winners[objective].topology_family,
+            exhaustive.winners[objective].degree,
+            exhaustive.winners[objective].parallelism,
+            exhaustive.winners[objective].routing_algorithm.value,
+        )
+        == (
+            screened.winners[objective].topology_family,
+            screened.winners[objective].degree,
+            screened.winners[objective].parallelism,
+            screened.winners[objective].routing_algorithm.value,
+        )
+        for objective in exhaustive.winners
+    }
+
+    bench_print(
+        "Analytical screening on the 4x Table-I grid:\n"
+        f"  candidates           {screened.n_candidates}"
+        f" (>= 4x default grid of {TABLE1_DEFAULT_POINTS})\n"
+        f"  simulated (screened) {screened.n_simulated}"
+        f"  skipped {screened.n_skipped}\n"
+        f"  exhaustive           {exhaustive_seconds:.2f} s\n"
+        f"  screened, first run  {screened_cold_seconds:.2f} s"
+        f" ({speedup_cold:.1f}x, pays the one-time contention fits)\n"
+        f"  screened, amortized  {screened_seconds:.2f} s ({speedup:.1f}x)\n"
+        f"  winners match        {winners_match}"
+    )
+    bench_json(
+        "noc_analytical",
+        "screening_speedup",
+        {
+            "grid": {
+                "topology_groups": len(TOPOLOGIES),
+                "parallelisms": BIG_PARALLELISMS,
+                "n_candidates": screened.n_candidates,
+                "table1_default_points": TABLE1_DEFAULT_POINTS,
+            },
+            "n_simulated": screened.n_simulated,
+            "n_skipped": screened.n_skipped,
+            "exhaustive_seconds": round(exhaustive_seconds, 3),
+            "screened_seconds": round(screened_seconds, 3),
+            "screened_cold_seconds": round(screened_cold_seconds, 3),
+            "speedup": round(speedup, 2),
+            "speedup_cold": round(speedup_cold, 2),
+            "winners_match": winners_match,
+        },
+    )
+
+    assert screened.n_candidates >= 4 * TABLE1_DEFAULT_POINTS, (
+        "benchmark grid shrank below 4x the default Table-I grid"
+    )
+    assert screened.n_skipped > 0
+    assert speedup >= 10.0, (
+        f"screened exploration only {speedup:.1f}x faster than exhaustive"
+    )
+    assert speedup_cold >= 2.0, (
+        f"first screened run only {speedup_cold:.1f}x faster than exhaustive"
+    )
+
+
+@pytest.mark.benchmark(group="noc-analytical")
+def test_analytical_screening_smoke(benchmark, tmp_path, bench_print, bench_json):
+    """Reduced-grid screened exploration, run twice through the sweep cache."""
+    code = wimax_ldpc_code(576, "1/2")
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=1), seed=0)
+    cache = NocSweepCache(tmp_path / "sweep-cache")
+
+    def screened_run():
+        return explorer.explore(
+            code, SMOKE_TOPOLOGIES, SMOKE_PARALLELISMS,
+            screen="analytical", confirm_top=6, cache=cache,
+        )
+
+    cold = benchmark.pedantic(screened_run, rounds=1, iterations=1)
+    cold_misses = cache.misses
+    warm = screened_run()
+
+    assert cold.n_skipped > 0
+    assert cold_misses == cold.n_simulated
+    assert cache.hits == cold_misses, "warm pass was not served from the cache"
+    assert cache.misses == cold_misses, "warm pass re-simulated cached jobs"
+    for objective, winner in cold.winners.items():
+        again = warm.winners[objective]
+        assert (winner.topology_family, winner.parallelism, winner.ncycles) == (
+            again.topology_family, again.parallelism, again.ncycles,
+        )
+
+    bench_print(
+        "Screening smoke (reduced grid, persistent cache):\n"
+        f"  {cold.describe()}\n"
+        f"  cache: {cache.hits} hits / {cache.misses} misses over two passes"
+    )
+    bench_json(
+        "noc_analytical",
+        "screening_smoke",
+        {
+            "n_candidates": cold.n_candidates,
+            "n_simulated": cold.n_simulated,
+            "n_skipped": cold.n_skipped,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "winners": {
+                objective: f"{point.topology_family}-P{point.parallelism}"
+                f"-{point.routing_algorithm.value}"
+                for objective, point in cold.winners.items()
+            },
+        },
+    )

@@ -76,6 +76,39 @@ def test_table1_noc_design_space(benchmark, bench_print, bench_json):
     assert passed >= max(1, len(checks) - 1), "more than one Table-I trend failed to reproduce"
 
 
+@pytest.mark.slow
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_grid(benchmark, bench_print, bench_json):
+    """Full paper grid (P in {16, 24, 32, 36}), independent of env knobs.
+
+    Tier-1 keeps the reduced grid above; this run is gated behind the
+    ``slow`` marker (``--runslow`` / ``REPRO_RUN_SLOW=1``, used by CI's
+    scheduled slow job).
+    """
+    code = wimax_ldpc_code(2304, "1/2")
+    explorer = DesignSpaceExplorer(DecoderSpec(mapping_attempts=2), seed=0)
+    points = benchmark.pedantic(
+        lambda: explorer.sweep_ldpc(code, TOPOLOGIES, [16, 24, 32, 36], ALGORITHMS),
+        rounds=1,
+        iterations=1,
+    )
+    bench_print(build_table1(points).render())
+
+    checks = check_table1_trends(points)
+    bench_json(
+        "table1",
+        "full_grid_sweep",
+        {
+            "design_points": len(points),
+            "parallelisms": [16, 24, 32, 36],
+            "trend_checks": {check.name: bool(check.passed) for check in checks},
+        },
+    )
+    assert points, "the full-grid sweep produced no design points"
+    passed = sum(1 for check in checks if check.passed)
+    assert passed >= max(1, len(checks) - 1), "more than one Table-I trend failed to reproduce"
+
+
 @pytest.mark.benchmark(group="table1")
 def test_table1_single_point_cost(benchmark):
     """Cost of evaluating one Table-I cell (mapping + simulation + area model)."""

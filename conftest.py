@@ -1,0 +1,45 @@
+"""Repo-level pytest configuration: the ``slow`` marker.
+
+Tier-1 (the default ``pytest -x -q`` run) stays on reduced grids; tests
+marked ``@pytest.mark.slow`` — full Table-I grids, large-network analytical
+validation — are skipped unless explicitly requested with ``--runslow`` or
+``REPRO_RUN_SLOW=1`` (the env form is what CI's scheduled slow job uses).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (full-grid Table-I and analytical sweeps)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: full-grid / long-running test, skipped unless --runslow or "
+        "REPRO_RUN_SLOW=1",
+    )
+
+
+def _slow_enabled(config: pytest.Config) -> bool:
+    return config.getoption("--runslow") or os.environ.get("REPRO_RUN_SLOW") == "1"
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if _slow_enabled(config):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow or set REPRO_RUN_SLOW=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

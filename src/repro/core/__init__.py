@@ -21,7 +21,13 @@ from repro.core.architecture import (
     NocDecoderArchitecture,
     TurboEvaluation,
 )
-from repro.core.design_flow import DesignPoint, DesignSpaceExplorer
+from repro.core.design_flow import (
+    EXPLORATION_OBJECTIVES,
+    DesignPoint,
+    DesignSpaceExplorer,
+    ExplorationReport,
+    ScreenedCandidate,
+)
 
 __all__ = [
     "DecoderSpec",
@@ -32,5 +38,8 @@ __all__ = [
     "LdpcEvaluation",
     "TurboEvaluation",
     "DesignPoint",
+    "EXPLORATION_OBJECTIVES",
+    "ExplorationReport",
+    "ScreenedCandidate",
     "DesignSpaceExplorer",
 ]

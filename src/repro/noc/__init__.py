@@ -55,7 +55,18 @@ from repro.noc.traffic import (
 )
 from repro.noc.engine import BatchNocSimulator, MessageArrays
 from repro.noc.engine_batch import BatchedNocKernel
+from repro.noc.analytical import (
+    ANALYTICAL_MODEL_VERSION,
+    ERROR_TOLERANCES,
+    AnalyticalEstimate,
+    AnalyticalNocModel,
+    ContentionFit,
+    MetricTolerance,
+    zero_contention_bound,
+)
 from repro.noc.sweep import (
+    SWEEP_CACHE_CODE_VERSION,
+    NocSweepCache,
     NocSweepJob,
     NocSweepOutcome,
     SweepCostModel,
@@ -91,6 +102,15 @@ __all__ = [
     "BatchNocSimulator",
     "BatchedNocKernel",
     "MessageArrays",
+    "ANALYTICAL_MODEL_VERSION",
+    "ERROR_TOLERANCES",
+    "AnalyticalEstimate",
+    "AnalyticalNocModel",
+    "ContentionFit",
+    "MetricTolerance",
+    "zero_contention_bound",
+    "SWEEP_CACHE_CODE_VERSION",
+    "NocSweepCache",
     "NocSweepJob",
     "NocSweepOutcome",
     "SweepCostModel",

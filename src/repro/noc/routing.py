@@ -25,6 +25,25 @@ from repro.noc.topologies import Topology
 
 
 @dataclass(frozen=True)
+class HopStatistics:
+    """Traffic-weighted moments of the shortest-path hop-count distribution.
+
+    Produced by :meth:`RoutingTables.hop_statistics`; the analytical NoC
+    model builds its zero-contention latency floor from these moments.
+    """
+
+    total_messages: float
+    mean: float
+    second_moment: float
+    maximum: int
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the hop count."""
+        return max(self.second_moment - self.mean * self.mean, 0.0)
+
+
+@dataclass(frozen=True)
 class RoutingTables:
     """Precomputed distance and next-hop information for one topology.
 
@@ -109,6 +128,104 @@ class RoutingTables:
     def diameter(self) -> int:
         """Largest shortest-path distance between any node pair."""
         return int(self.distance.max())
+
+    # ------------------------------------------------------------------ #
+    # Hop-count statistics and arc loads (analytical-model machinery)
+    # ------------------------------------------------------------------ #
+    def hop_statistics(self, pair_counts: np.ndarray) -> "HopStatistics":
+        """Moments of the hop-count distribution under a traffic demand.
+
+        ``pair_counts`` is a ``(P, P)`` matrix of message counts per
+        (source, destination) pair — typically
+        :meth:`repro.noc.traffic.TrafficPattern.pair_counts`.  The returned
+        moments weight each pair's shortest-path distance by its message
+        count; pairs with zero messages contribute nothing.  The maximum is
+        always bounded by :attr:`diameter` (shortest-path routing never plans
+        a longer route; SCM deflections can exceed it at *simulation* time,
+        which is exactly the misroute excess the analytical model corrects
+        for separately).
+        """
+        weights = np.asarray(pair_counts, dtype=np.float64)
+        if weights.shape != self.distance.shape:
+            raise RoutingError(
+                f"pair_counts must be shaped {self.distance.shape}, got {weights.shape}"
+            )
+        total = float(weights.sum())
+        if total <= 0:
+            return HopStatistics(
+                total_messages=0.0, mean=0.0, second_moment=0.0, maximum=0
+            )
+        dist = self.distance.astype(np.float64)
+        mean = float((weights * dist).sum() / total)
+        second = float((weights * dist * dist).sum() / total)
+        maximum = int(self.distance[weights > 0].max(initial=0))
+        return HopStatistics(
+            total_messages=total, mean=mean, second_moment=second, maximum=maximum
+        )
+
+    def ssp_arc_loads(self, pair_counts: np.ndarray) -> np.ndarray:
+        """``(n_arcs,)`` messages crossing each arc under SSP routing.
+
+        SSP follows exactly one next-hop port per (node, destination), so the
+        path of every (source, destination) pair is unique and the per-arc
+        load is exact: it is the number of messages whose shortest path uses
+        the arc.  Computed by walking all pairs toward their destinations in
+        lockstep over the dense next-port matrix (diameter-bounded steps).
+        """
+        weights = np.asarray(pair_counts, dtype=np.float64)
+        n = self.topology.n_nodes
+        if weights.shape != (n, n):
+            raise RoutingError(f"pair_counts must be shaped ({n}, {n}), got {weights.shape}")
+        loads = np.zeros(max(self.topology.n_arcs, 1), dtype=np.float64)
+        next_port = self.next_port_matrix
+        arc_id = self.topology.arc_id_matrix
+        neighbor = self.topology.out_neighbor_matrix
+        src, dst = np.nonzero(weights)
+        if src.size == 0:
+            return loads
+        w = weights[src, dst]
+        live = src != dst
+        current, dest, w = src[live], dst[live], w[live]
+        while current.size:
+            port = next_port[current, dest]
+            np.add.at(loads, arc_id[current, port], w)
+            current = neighbor[current, port]
+            live = current != dest
+            current, dest, w = current[live], dest[live], w[live]
+        return loads
+
+    def asp_arc_loads(self, pair_counts: np.ndarray) -> np.ndarray:
+        """``(n_arcs,)`` fractional arc loads under equal-split ASP routing.
+
+        ASP-FT spreads each node's traffic over *every* shortest-path output
+        port, picking the least-used free one; the analytical model
+        approximates that spreading as an equal fractional split.  For each
+        destination the demand is relaxed from the farthest nodes inward
+        (nodes at distance ``l`` only ever forward to nodes at ``l - 1``), so
+        a single pass per destination propagates all flow exactly.
+        """
+        weights = np.asarray(pair_counts, dtype=np.float64)
+        n = self.topology.n_nodes
+        if weights.shape != (n, n):
+            raise RoutingError(f"pair_counts must be shaped ({n}, {n}), got {weights.shape}")
+        loads = np.zeros(max(self.topology.n_arcs, 1), dtype=np.float64)
+        arc_id = self.topology.arc_id_matrix
+        neighbor = self.topology.out_neighbor_matrix
+        for dest in range(n):
+            if not weights[:, dest].any():
+                continue
+            flow = weights[:, dest].copy()
+            order = np.argsort(-self.distance[:, dest], kind="stable")
+            for node in order:
+                node = int(node)
+                if node == dest or flow[node] <= 0:
+                    continue
+                ports = self.next_ports[node][dest]
+                share = flow[node] / len(ports)
+                for port in ports:
+                    loads[arc_id[node, port]] += share
+                    flow[neighbor[node, port]] += share
+        return loads
 
     @property
     def average_distance(self) -> float:

@@ -37,24 +37,30 @@ still reproduce exactly what two freshly seeded engines would.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.noc.config import CollisionPolicy, NocConfiguration
 from repro.noc.engine import BatchNocSimulator
 from repro.noc.engine_batch import BatchedNocKernel
+from repro.noc.message import MessageStatistics
 from repro.noc.results import SimulationResult
 from repro.noc.routing import build_routing_tables
 from repro.noc.topologies import build_topology
 from repro.noc.traffic import TrafficPattern, random_traffic_streams
 
 __all__ = [
+    "NocSweepCache",
     "NocSweepJob",
     "NocSweepOutcome",
+    "SWEEP_CACHE_CODE_VERSION",
     "SweepCostModel",
     "run_noc_sweep",
     "scheduler_cost_model",
@@ -91,6 +97,155 @@ class NocSweepOutcome:
 #: Hard floor under which batching is never attempted (a batch of one gains
 #: nothing from stacking); also the legacy default for explicit ``min_batch``.
 MIN_BATCH = 2
+
+#: Version stamp of the *simulation semantics* behind cached sweep results.
+#: Bump whenever an engine change may alter any measurement for the same job
+#: — every cached entry keyed under the old version then misses and re-runs.
+SWEEP_CACHE_CODE_VERSION = 1
+
+
+class NocSweepCache:
+    """Persistent on-disk cache of cycle-exact sweep results.
+
+    One JSON file per result under ``directory``, named by a SHA-256 hash of
+    the complete job description — topology spec, every configuration field,
+    the full traffic pattern, engine seed, cycle limit — plus
+    :data:`SWEEP_CACHE_CODE_VERSION`.  Any change to any of those produces a
+    different key, so stale entries are never returned: they are simply
+    orphaned (and a version bump orphans all of them at once).
+
+    The cache is transparent by construction: a hit returns a
+    :class:`~repro.noc.results.SimulationResult` that round-trips every field
+    the engines measure (including the raw latency list behind the
+    percentile statistics), so sweeps with and without a cache are
+    bit-identical — the differential suite asserts this.  Unreadable or
+    corrupt entries (truncated writes, foreign files, schema drift) are
+    treated as misses and quietly re-simulated, never raised.
+    """
+
+    def __init__(self, directory: str | Path, code_version: int | None = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = (
+            SWEEP_CACHE_CODE_VERSION if code_version is None else code_version
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def key(self, job: NocSweepJob) -> str:
+        """Content hash of everything that determines the job's result."""
+        config = job.config
+        description = {
+            "code_version": self.code_version,
+            "family": job.family,
+            "parallelism": job.parallelism,
+            "degree": job.degree,
+            "config": {
+                "routing_algorithm": config.routing_algorithm.value,
+                "node_architecture": config.node_architecture.value,
+                "injection_rate": config.injection_rate,
+                "route_local": config.route_local,
+                "collision_policy": config.collision_policy.value,
+                "payload_bits": config.payload_bits,
+                "location_bits": config.location_bits,
+                "fifo_capacity": config.fifo_capacity,
+            },
+            "traffic": {
+                "n_nodes": job.traffic.n_nodes,
+                "label": job.traffic.label,
+                "per_node": [
+                    [list(node.destinations), list(node.memory_locations)]
+                    for node in job.traffic.per_node
+                ],
+            },
+            "seed": job.seed,
+            "max_cycles": job.max_cycles,
+        }
+        canonical = json.dumps(description, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, job: NocSweepJob) -> SimulationResult | None:
+        """The cached result for ``job``, or None on miss or corrupt entry."""
+        path = self._entry_path(self.key(job))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = _result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, job: NocSweepJob, result: SimulationResult) -> None:
+        """Persist one result; the write is atomic (temp file + rename)."""
+        path = self._entry_path(self.key(job))
+        payload = json.dumps(_result_to_payload(result), separators=(",", ":"))
+        temp = path.with_suffix(f".tmp-{os.getpid()}")
+        temp.write_text(payload, encoding="utf-8")
+        os.replace(temp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _result_to_payload(result: SimulationResult) -> dict:
+    statistics = result.statistics
+    return {
+        "ncycles": result.ncycles,
+        "total_messages": result.total_messages,
+        "delivered_messages": result.delivered_messages,
+        "local_bypassed": result.local_bypassed,
+        "max_fifo_occupancy": result.max_fifo_occupancy,
+        "max_injection_occupancy": result.max_injection_occupancy,
+        "per_node_max_fifo": list(result.per_node_max_fifo),
+        "link_utilization": result.link_utilization,
+        "config_label": result.config_label,
+        "topology_label": result.topology_label,
+        "traffic_label": result.traffic_label,
+        "statistics": {
+            "count": statistics.count,
+            "total_latency": statistics.total_latency,
+            "max_latency": statistics.max_latency,
+            "total_hops": statistics.total_hops,
+            "misrouted": statistics.misrouted,
+            "latencies": list(statistics._latencies),
+        },
+    }
+
+
+def _result_from_payload(payload: dict) -> SimulationResult:
+    stats_payload = payload["statistics"]
+    statistics = MessageStatistics(
+        count=int(stats_payload["count"]),
+        total_latency=int(stats_payload["total_latency"]),
+        max_latency=int(stats_payload["max_latency"]),
+        total_hops=int(stats_payload["total_hops"]),
+        misrouted=int(stats_payload["misrouted"]),
+        _latencies=[int(v) for v in stats_payload["latencies"]],
+    )
+    return SimulationResult(
+        ncycles=int(payload["ncycles"]),
+        total_messages=int(payload["total_messages"]),
+        delivered_messages=int(payload["delivered_messages"]),
+        local_bypassed=int(payload["local_bypassed"]),
+        max_fifo_occupancy=int(payload["max_fifo_occupancy"]),
+        max_injection_occupancy=int(payload["max_injection_occupancy"]),
+        per_node_max_fifo=[int(v) for v in payload["per_node_max_fifo"]],
+        statistics=statistics,
+        link_utilization=float(payload["link_utilization"]),
+        config_label=str(payload["config_label"]),
+        topology_label=str(payload["topology_label"]),
+        traffic_label=str(payload["traffic_label"]),
+    )
 
 #: Calibration probe: a Table-I-scale generalized-Kautz workload per
 #: collision policy, timed once per process.  The probe must run at the
@@ -263,6 +418,7 @@ def run_noc_sweep(
     parallel: str | None = None,
     max_workers: int | None = None,
     min_batch: int | None = None,
+    cache: NocSweepCache | None = None,
 ) -> list[NocSweepOutcome]:
     """Run many sweep points through grouped, adaptively batched engines.
 
@@ -293,6 +449,12 @@ def run_noc_sweep(
         deflection replay and cross over later than DCM groups).  An explicit
         integer restores the static threshold: groups of at least
         ``min_batch`` jobs batch, smaller ones run the scalar engine.
+    cache:
+        Optional :class:`NocSweepCache`.  Jobs whose exact description was
+        simulated before return their persisted result without simulating;
+        missing jobs run normally (through whatever engines and parallelism
+        the scheduler picks for the *reduced* sweep) and are persisted on
+        the way out.  Results are bit-identical with and without a cache.
 
     Returns
     -------
@@ -306,6 +468,24 @@ def run_noc_sweep(
         )
     if min_batch is not None and min_batch < 1:
         raise ConfigurationError(f"min_batch must be positive, got {min_batch}")
+    if cache is not None:
+        cached: list[SimulationResult | None] = [cache.get(job) for job in jobs]
+        miss_indices = [i for i, result in enumerate(cached) if result is None]
+        if miss_indices:
+            fresh = run_noc_sweep(
+                [jobs[i] for i in miss_indices],
+                topology_cache=topology_cache,
+                parallel=parallel,
+                max_workers=max_workers,
+                min_batch=min_batch,
+            )
+            for index, outcome in zip(miss_indices, fresh):
+                cache.put(outcome.job, outcome.result)
+                cached[index] = outcome.result
+        return [
+            NocSweepOutcome(job=job, result=result)
+            for job, result in zip(jobs, cached)
+        ]
     # Group jobs by everything the batched kernel shares.
     groups: dict[tuple, list[int]] = {}
     for index, job in enumerate(jobs):

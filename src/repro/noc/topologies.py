@@ -127,6 +127,7 @@ class Topology:
         # input-port number of an arc is its position in the destination's
         # in_arcs list, mirroring how the simulators wire FIFOs to links.
         dest_input_port = np.full((n, max(max_out, 1)), -1, dtype=np.int64)
+        arc_id = np.full((n, max(max_out, 1)), -1, dtype=np.int64)
         arc_input_port: dict[int, int] = {}
         for node in range(n):
             in_degrees[node] = len(self._in_ports[node])
@@ -138,12 +139,14 @@ class Topology:
             for out_port, (arc_index, neighbor) in enumerate(self._out_ports[node]):
                 out_neighbor[node, out_port] = neighbor
                 dest_input_port[node, out_port] = arc_input_port[arc_index]
+                arc_id[node, out_port] = arc_index
         views = {
             "out_degrees": out_degrees,
             "in_degrees": in_degrees,
             "out_neighbor": out_neighbor,
             "in_source": in_source,
             "dest_input_port": dest_input_port,
+            "arc_id": arc_id,
         }
         object.__setattr__(self, "_dense_cache", views)
         return views
@@ -173,6 +176,16 @@ class Topology:
         """``(P, Dmax)`` input-port index at the neighbour reached through each
         output port (-1 pad) — the link-to-FIFO wiring of the cycle engine."""
         return self._dense_views()["dest_input_port"]
+
+    @property
+    def arc_id_matrix(self) -> np.ndarray:
+        """``(P, Dmax)`` global arc index behind each (node, output port); -1 pad.
+
+        Used by the analytical model's arc-load accounting: per-arc traffic
+        accumulated while walking routing paths indexes directly into a flat
+        ``(n_arcs,)`` load vector through this matrix.
+        """
+        return self._dense_views()["arc_id"]
 
     def is_strongly_connected(self) -> bool:
         """True when every node can reach every other node."""
