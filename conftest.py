@@ -1,16 +1,48 @@
-"""Repo-level pytest configuration: the ``slow`` marker.
+"""Repo-level pytest configuration: the ``slow`` marker and asyncio tests.
 
 Tier-1 (the default ``pytest -x -q`` run) stays on reduced grids; tests
 marked ``@pytest.mark.slow`` — full Table-I grids, large-network analytical
 validation — are skipped unless explicitly requested with ``--runslow`` or
 ``REPRO_RUN_SLOW=1`` (the env form is what CI's scheduled slow job uses).
+
+Async tests (the decode-service suite) are marked ``@pytest.mark.asyncio``.
+CI installs ``pytest-asyncio`` (see requirements-dev.txt) and runs them
+through the real plugin in strict mode; on hosts without the plugin a
+minimal fallback below runs each marked coroutine via :func:`asyncio.run`
+so the suite needs no extra installs to pass locally.
 """
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import os
 
 import pytest
+
+try:
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_PYTEST_ASYNCIO = True
+except ImportError:
+    _HAVE_PYTEST_ASYNCIO = False
+
+if not _HAVE_PYTEST_ASYNCIO:
+
+    @pytest.hookimpl(tryfirst=True)
+    def pytest_pyfunc_call(pyfuncitem: pytest.Function):
+        """Fallback runner for ``@pytest.mark.asyncio`` coroutines."""
+        if pyfuncitem.get_closest_marker("asyncio") is None:
+            return None
+        func = pyfuncitem.obj
+        if not inspect.iscoroutinefunction(func):
+            return None
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(func(**kwargs))
+        return True
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -27,6 +59,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "slow: full-grid / long-running test, skipped unless --runslow or "
         "REPRO_RUN_SLOW=1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "asyncio: coroutine test run by pytest-asyncio (or the local fallback)",
     )
 
 

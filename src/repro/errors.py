@@ -42,3 +42,32 @@ class DecodingError(ReproError):
 
 class ModelError(ReproError):
     """A hardware (area/power/memory) model was queried outside its domain."""
+
+
+class ServiceError(ReproError):
+    """Base class of every failure raised by the decode service layer."""
+
+
+class RequestValidationError(ServiceError):
+    """A decode request carried a malformed payload (shape, dtype, NaN, ...)."""
+
+
+class UnknownCodecError(ServiceError):
+    """A decode request named a code family / block size / rate nobody serves."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service rejected a request because its queue bound was reached.
+
+    ``retry_after_s`` is the service's estimate of when a queue slot will
+    open (the pending batch's flush deadline) — clients in reject mode
+    should back off at least this long before retrying.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is not running."""

@@ -40,7 +40,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -48,6 +47,12 @@ from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.noc.config import CollisionPolicy, NocConfiguration
+from repro.utils.calibration import (
+    POOL_SPINUP_S,
+    PiecewiseLinearCost,
+    best_time,
+    pool_amortizes,
+)
 from repro.noc.engine import BatchNocSimulator
 from repro.noc.engine_batch import BatchedNocKernel
 from repro.noc.message import MessageStatistics
@@ -266,8 +271,9 @@ _ADAPTIVE_SCALAR_UNDER = 8
 
 #: Sweeps projected to finish serially faster than this never pay for a
 #: process pool (executor spin-up plus per-task pickling costs this order of
-#: magnitude on its own).
-_PROCESS_MIN_SERIAL_S = 0.25
+#: magnitude on its own).  Shared with the decode service's sharding planner
+#: through :mod:`repro.utils.calibration`.
+_PROCESS_MIN_SERIAL_S = POOL_SPINUP_S
 
 #: Chunks per worker when sharding groups across a pool: more than one chunk
 #: per worker keeps the pool busy when group runtimes differ.
@@ -308,23 +314,13 @@ class SweepCostModel:
     def batch_cost_s(self, policy: CollisionPolicy, group_size: int) -> float:
         """Projected batched-kernel cost of one group, piecewise-linear.
 
-        Below the first probe sample the cost scales proportionally from it
-        instead of extrapolating the first segment downward — a noisy
-        super-linear segment would otherwise project negative (i.e. bogusly
-        winning) costs for tiny groups.
+        Delegates to :class:`repro.utils.calibration.PiecewiseLinearCost`,
+        which scales proportionally below the first probe sample instead of
+        extrapolating the first segment downward — a noisy super-linear
+        segment would otherwise project negative (i.e. bogusly winning)
+        costs for tiny groups.
         """
-        samples = self.batch_samples[policy]
-        j0, t0 = samples[0]
-        if group_size <= j0 or len(samples) == 1:
-            return t0 * group_size / j0
-        lo, hi = samples[0], samples[1]
-        for nxt in samples[2:]:
-            if group_size <= hi[0]:
-                break
-            lo, hi = hi, nxt
-        (j0, t0), (j1, t1) = lo, hi
-        slope = (t1 - t0) / (j1 - j0)
-        return t0 + slope * (group_size - j0)
+        return PiecewiseLinearCost(self.batch_samples[policy]).cost(group_size)
 
     def batch_wins(self, policy: CollisionPolicy, group_size: int) -> bool:
         """Whether the batched kernel clearly wins a group of this size."""
@@ -350,15 +346,6 @@ class SweepCostModel:
         return min(scalar, self.batch_cost_s(policy, group_size)) * scale
 
 
-def _best_time(fn, repeats: int = 2) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def _calibrate() -> SweepCostModel:
     """Time the probe workload through both engines, once per process."""
     family, parallelism, degree = _PROBE_SPEC
@@ -379,7 +366,7 @@ def _calibrate() -> SweepCostModel:
         # Warm both paths so one-time lazy state stays out of the timings.
         engine.run(traffics[0], seed=seeds[0])
         kernel.run(traffics[:2], seeds[:2])
-        scalar_s = _best_time(
+        scalar_s = best_time(
             lambda: [
                 engine.run(t, seed=s)
                 for t, s in zip(traffics[:scalar_jobs], seeds[:scalar_jobs])
@@ -390,7 +377,7 @@ def _calibrate() -> SweepCostModel:
         for size in _PROBE_SIZES:
             # Best-of-2 everywhere: the largest sample sets the slope the
             # whole-grid extrapolation rides on, so its noise matters most.
-            group_s = _best_time(
+            group_s = best_time(
                 lambda size=size: kernel.run(traffics[:size], seeds[:size])
             )
             samples.append((size, group_s))
@@ -537,7 +524,7 @@ def run_noc_sweep(
                 )
                 for key, indices in groups.items()
             )
-            use_pool = projected >= _PROCESS_MIN_SERIAL_S
+            use_pool = pool_amortizes(projected, _PROCESS_MIN_SERIAL_S)
     results: list[SimulationResult | None] = [None] * len(jobs)
     if not use_pool:
         cache: dict = topology_cache if topology_cache is not None else {}

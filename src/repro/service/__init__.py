@@ -1,0 +1,41 @@
+"""Decode-as-a-service: async dynamic batching over the batch engines.
+
+The serving path of the reproduction's "millions of users" north star:
+per-frame decode requests from many concurrent clients aggregate into the
+large batches :mod:`repro.sim`'s engines were built for, under an explicit
+latency budget, with typed boundary validation, bounded queues with
+configurable backpressure, live metrics and an optional calibrated
+process-shard mode.  See ``docs/decode-service.md`` for the request
+lifecycle and policies, and ``python -m repro.service`` for a runnable
+demo.
+"""
+
+from repro.service.batcher import DynamicBatcher, QueuedItem
+from repro.service.client import DecodeClient, ServiceThread
+from repro.service.metrics import LatencyReservoir, MetricsSnapshot, ServiceMetrics
+from repro.service.registry import (
+    CodecEntry,
+    CodecRegistry,
+    CodecSpec,
+    default_registry,
+)
+from repro.service.service import DecodeResponse, DecodeService
+from repro.service.sharding import DecodeCostModel, plan_shards
+
+__all__ = [
+    "CodecEntry",
+    "CodecRegistry",
+    "CodecSpec",
+    "DecodeClient",
+    "DecodeCostModel",
+    "DecodeResponse",
+    "DecodeService",
+    "DynamicBatcher",
+    "LatencyReservoir",
+    "MetricsSnapshot",
+    "QueuedItem",
+    "ServiceMetrics",
+    "ServiceThread",
+    "default_registry",
+    "plan_shards",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.service`` — run the decode-service demo CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.service.demo import main
+
+if __name__ == "__main__":
+    sys.exit(main())

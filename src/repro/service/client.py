@@ -1,0 +1,157 @@
+"""Client facades over :class:`~repro.service.service.DecodeService`.
+
+Two entry styles cover both kinds of caller:
+
+* :class:`DecodeClient` — a thin facade bound to a service (and, for
+  cross-thread use, the loop the service runs on).  ``decode`` is the async
+  API; ``decode_sync`` is the blocking API, usable from any *other* thread
+  while the service's loop runs (it bridges with
+  :func:`asyncio.run_coroutine_threadsafe`).
+* :class:`ServiceThread` — runs a service on a dedicated background event
+  loop so purely synchronous programs (benchmark harnesses, REPLs, the
+  demo's baseline mode) can use the service without touching asyncio at
+  all::
+
+      with ServiceThread(max_batch=64, max_delay_s=0.002) as client:
+          response = client.decode_sync(llrs, family="ldpc", block=576, rate="1/2")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ServiceClosedError
+from repro.service.metrics import MetricsSnapshot
+from repro.service.service import DecodeResponse, DecodeService
+
+__all__ = ["DecodeClient", "ServiceThread"]
+
+
+class DecodeClient:
+    """Facade over one service: async ``decode`` plus blocking ``decode_sync``."""
+
+    def __init__(
+        self, service: DecodeService, loop: asyncio.AbstractEventLoop | None = None
+    ) -> None:
+        self.service = service
+        self._loop = loop
+
+    async def decode(
+        self,
+        llrs: np.ndarray,
+        family: str = "ldpc",
+        block: int = 576,
+        rate: str = "1/2",
+    ) -> DecodeResponse:
+        """Submit one frame and await its decoded bits."""
+        return await self.service.submit(llrs, family=family, block=block, rate=rate)
+
+    async def decode_many(
+        self,
+        frames: Iterable[np.ndarray],
+        family: str = "ldpc",
+        block: int = 576,
+        rate: str = "1/2",
+    ) -> list[DecodeResponse]:
+        """Submit many frames concurrently and await all of them."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self.decode(llrs, family=family, block=block, rate=rate)
+                    for llrs in frames
+                )
+            )
+        )
+
+    def decode_sync(
+        self,
+        llrs: np.ndarray,
+        family: str = "ldpc",
+        block: int = 576,
+        rate: str = "1/2",
+        timeout: float | None = None,
+    ) -> DecodeResponse:
+        """Blocking decode from a thread other than the service loop's.
+
+        Requires the client to be bound to the loop the service runs on
+        (:class:`ServiceThread` hands out clients bound this way).
+        """
+        if self._loop is None or not self._loop.is_running():
+            raise ServiceClosedError(
+                "decode_sync needs a running service loop; use ServiceThread "
+                "or the async decode() API"
+            )
+        future = asyncio.run_coroutine_threadsafe(
+            self.decode(llrs, family=family, block=block, rate=rate), self._loop
+        )
+        return future.result(timeout)
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The service's current metrics snapshot."""
+        return self.service.metrics_snapshot()
+
+
+class ServiceThread:
+    """Run a :class:`DecodeService` on a dedicated background event loop.
+
+    Context-manager entry starts the loop thread and the service; exit
+    drains, stops the service and joins the thread.  All constructor
+    keyword arguments are forwarded to :class:`DecodeService`.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self.service = DecodeService(**service_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.call_soon(self._started.set)
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def start(self) -> DecodeClient:
+        """Start the loop thread and the service; return a bound client."""
+        if self._thread is not None:
+            return self.client()
+        self._thread = threading.Thread(
+            target=self._run, name="decode-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self._loop).result()
+        return self.client()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the service (draining by default), the loop and the thread."""
+        if self._thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=drain), self._loop
+        ).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+    def client(self) -> DecodeClient:
+        """A client bound to the background loop (sync + async APIs)."""
+        return DecodeClient(self.service, loop=self._loop)
+
+    def __enter__(self) -> DecodeClient:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

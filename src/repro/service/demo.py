@@ -1,0 +1,200 @@
+"""Decode-service demo: N concurrent clients over AWGN-corrupted frames.
+
+This is the workload behind both ``python -m repro.service`` and
+``examples/decode_service_demo.py`` (and CI's service smoke step): generate
+random frames for a mix of codecs, corrupt them over a BPSK/AWGN channel at
+a chosen Eb/N0, fire every frame at the service from its own client
+coroutine, then print the live metrics snapshot and the measured error
+rates.  :func:`run_demo` returns the numbers as a dict so scripted callers
+(tests, CI) can assert on them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_noise_sigma
+from repro.channel.modulation import BPSKModulator
+from repro.service.registry import CodecEntry, CodecRegistry, default_registry
+from repro.service.service import DecodeService
+from repro.sim.runner import resolve_code_rate
+
+__all__ = ["generate_llr_frames", "main", "run_demo"]
+
+#: Codec mix exercised by default: one LDPC and one turbo lane, small
+#: blocks so the demo stays quick on CI.
+DEFAULT_CODECS = (("ldpc", 576, "1/2"), ("turbo", 48, "1/2"))
+
+
+def generate_llr_frames(
+    entry: CodecEntry, count: int, ebn0_db: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random encoded frames through BPSK/AWGN: ``(llrs, reference_bits)``.
+
+    ``llrs`` is ``(count, n_bits)``; ``reference_bits`` is what the decoder
+    is expected to reproduce — codewords for LDPC, information bits for
+    turbo (per ``entry.decides_info_bits``).
+    """
+    info = rng.integers(0, 2, size=(count, entry.k_bits), dtype=np.int8)
+    codewords = entry.code.encode_batch(info)
+    modulator = BPSKModulator()
+    sigma = ebn0_to_noise_sigma(ebn0_db, resolve_code_rate(entry.code.rate))
+    channel = AWGNChannel(sigma, rng)
+    received = channel.transmit(modulator.modulate(codewords))
+    llrs = modulator.demodulate_llr(received, channel.llr_noise_variance(False))
+    reference = info if entry.decides_info_bits else codewords.astype(np.int8)
+    return llrs, reference
+
+
+@dataclass
+class _Workload:
+    entry: CodecEntry
+    llrs: np.ndarray
+    reference: np.ndarray
+
+
+async def _run_async(
+    service: DecodeService, workloads: list[_Workload]
+) -> tuple[dict, list]:
+    async with service:
+        started = time.perf_counter()
+        tasks = []
+        for load in workloads:
+            spec = load.entry.spec
+            for row in load.llrs:
+                tasks.append(
+                    asyncio.create_task(
+                        service.submit(
+                            row, family=spec.family, block=spec.block, rate=spec.rate
+                        )
+                    )
+                )
+        responses = await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - started
+        snapshot = service.metrics_snapshot()
+    return {"elapsed_s": elapsed, "snapshot": snapshot}, responses
+
+
+def run_demo(
+    requests: int = 100,
+    ebn0_db: float = 2.0,
+    codecs: tuple[tuple[str, int, str], ...] = DEFAULT_CODECS,
+    max_batch: int = 64,
+    max_delay_s: float = 0.005,
+    backpressure: str = "wait",
+    executor: str = "thread",
+    shards: int | str = 0,
+    seed: int = 2012,
+    registry: CodecRegistry | None = None,
+    quiet: bool = False,
+) -> dict:
+    """Fire ``requests`` frames (split across ``codecs``) at one service.
+
+    Returns a dict with the metrics snapshot (as a dict), wall-clock
+    throughput, and per-codec bit/frame error counts against the encoded
+    reference bits.
+    """
+    registry = registry if registry is not None else default_registry()
+    rng = np.random.default_rng(seed)
+    per_codec = max(requests // len(codecs), 1)
+    workloads = [
+        _Workload(entry, *generate_llr_frames(entry, per_codec, ebn0_db, rng))
+        for entry in (registry.resolve(*codec) for codec in codecs)
+    ]
+    service = DecodeService(
+        registry=registry,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        backpressure=backpressure,
+        executor=executor,
+        shards=shards,
+    )
+    timing, responses = asyncio.run(_run_async(service, workloads))
+
+    # Re-associate responses with their workloads by codec label, in order.
+    cursor = 0
+    per_codec_stats = {}
+    for load in workloads:
+        count = load.llrs.shape[0]
+        chunk = responses[cursor : cursor + count]
+        cursor += count
+        decoded = np.stack([response.bits for response in chunk])
+        bit_errors = int(np.count_nonzero(decoded != load.reference))
+        frame_errors = int(np.count_nonzero((decoded != load.reference).any(axis=1)))
+        per_codec_stats[load.entry.spec.label] = {
+            "frames": count,
+            "bit_errors": bit_errors,
+            "frame_errors": frame_errors,
+            "total_bits": int(load.reference.size),
+            "avg_iterations": float(
+                np.mean([response.iterations for response in chunk])
+            ),
+        }
+    snapshot = timing["snapshot"]
+    total_frames = sum(stats["frames"] for stats in per_codec_stats.values())
+    payload = {
+        "requests": total_frames,
+        "ebn0_db": ebn0_db,
+        "elapsed_s": timing["elapsed_s"],
+        "throughput_fps": total_frames / timing["elapsed_s"],
+        "executor": service.executor_mode,
+        "planned_shards": service.planned_shards,
+        "metrics": snapshot.as_dict(),
+        "per_codec": per_codec_stats,
+    }
+    if not quiet:
+        print(f"decode service demo: {total_frames} frames at Eb/N0 = {ebn0_db} dB")
+        print(f"  executor={service.executor_mode} shards={service.planned_shards}")
+        print(f"  metrics: {snapshot}")
+        for label, stats in per_codec_stats.items():
+            ber = stats["bit_errors"] / stats["total_bits"]
+            print(
+                f"  {label}: {stats['frames']} frames, BER {ber:.2e}, "
+                f"{stats['frame_errors']} frame errors, "
+                f"avg {stats['avg_iterations']:.1f} iterations"
+            )
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.service``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Dynamic-batching decode service demo over AWGN frames.",
+    )
+    parser.add_argument("--requests", type=int, default=100,
+                        help="total frames across all codecs (default 100)")
+    parser.add_argument("--ebn0", type=float, default=2.0,
+                        help="channel Eb/N0 in dB (default 2.0)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="largest dispatched batch (default 64)")
+    parser.add_argument("--delay-ms", type=float, default=5.0,
+                        help="batching latency budget in ms (default 5)")
+    parser.add_argument("--backpressure", choices=("wait", "reject"), default="wait")
+    parser.add_argument("--executor", choices=("thread", "process", "inline"),
+                        default="thread")
+    parser.add_argument("--shards", default="0",
+                        help="worker processes for --executor process, or 'auto'")
+    parser.add_argument("--ldpc-only", action="store_true",
+                        help="serve only the LDPC lane (default: LDPC + turbo mix)")
+    parser.add_argument("--seed", type=int, default=2012)
+    args = parser.parse_args(argv)
+    shards: int | str = args.shards if args.shards == "auto" else int(args.shards)
+    codecs = DEFAULT_CODECS[:1] if args.ldpc_only else DEFAULT_CODECS
+    run_demo(
+        requests=args.requests,
+        ebn0_db=args.ebn0,
+        codecs=codecs,
+        max_batch=args.max_batch,
+        max_delay_s=args.delay_ms / 1e3,
+        backpressure=args.backpressure,
+        executor=args.executor,
+        shards=shards,
+        seed=args.seed,
+    )
+    return 0

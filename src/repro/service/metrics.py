@@ -1,0 +1,157 @@
+"""Live decode-service metrics: queue depth, batch sizes, latency, throughput.
+
+The service updates one :class:`ServiceMetrics` instance from the event-loop
+thread only (decode executors report back through loop callbacks), so the
+counters need no locks.  :meth:`ServiceMetrics.snapshot` freezes the current
+state into an immutable :class:`MetricsSnapshot` — the service's public
+observability surface, safe to hand across threads and trivially
+JSON-serialisable via :meth:`MetricsSnapshot.as_dict`.
+
+Latency percentiles come from bounded reservoirs of the most recent
+completions (default 4096), so a long-lived service reports *current*
+latency behaviour instead of an all-time average diluted by history.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "MetricsSnapshot", "ServiceMetrics"]
+
+
+class LatencyReservoir:
+    """Sliding window over the most recent latency observations (seconds)."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._values: deque[float] = deque(maxlen=window)
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        self._values.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 99.0)) -> tuple[float, ...]:
+        """Window percentiles (NaN-free: all zeros when no observations yet)."""
+        if not self._values:
+            return tuple(0.0 for _ in qs)
+        arr = np.fromiter(self._values, dtype=np.float64)
+        return tuple(float(v) for v in np.percentile(arr, qs))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable view of the service's counters at one instant.
+
+    Latency fields are in seconds over the recent-completions window;
+    ``throughput_fps`` is completed frames per second of service uptime.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    validation_failures: int
+    in_flight: int
+    queue_depths: dict[str, int]
+    batch_count: int
+    batch_size_histogram: dict[int, int]
+    mean_batch_size: float
+    queue_p50_s: float
+    queue_p99_s: float
+    total_p50_s: float
+    total_p99_s: float
+    throughput_fps: float
+    uptime_s: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dict (histogram keys become strings)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "validation_failures": self.validation_failures,
+            "in_flight": self.in_flight,
+            "queue_depths": dict(self.queue_depths),
+            "batch_count": self.batch_count,
+            "batch_size_histogram": {
+                str(k): v for k, v in sorted(self.batch_size_histogram.items())
+            },
+            "mean_batch_size": self.mean_batch_size,
+            "queue_p50_s": self.queue_p50_s,
+            "queue_p99_s": self.queue_p99_s,
+            "total_p50_s": self.total_p50_s,
+            "total_p99_s": self.total_p99_s,
+            "throughput_fps": self.throughput_fps,
+            "uptime_s": self.uptime_s,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.completed}/{self.submitted} frames decoded "
+            f"({self.rejected} rejected), {self.batch_count} batches "
+            f"(mean size {self.mean_batch_size:.1f}), "
+            f"latency p50/p99 {1e3 * self.total_p50_s:.2f}/"
+            f"{1e3 * self.total_p99_s:.2f} ms "
+            f"(queued {1e3 * self.queue_p50_s:.2f}/"
+            f"{1e3 * self.queue_p99_s:.2f} ms), "
+            f"{self.throughput_fps:.0f} frames/s over {self.uptime_s:.2f} s"
+        )
+
+
+@dataclass
+class ServiceMetrics:
+    """Mutable counters behind the service; mutate from the loop thread only."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    validation_failures: int = 0
+    in_flight: int = 0
+    batch_count: int = 0
+    batched_frames: int = 0
+    batch_sizes: Counter = field(default_factory=Counter)
+    queue_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    total_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def record_batch(self, size: int) -> None:
+        """Account one dispatched batch of ``size`` frames."""
+        self.batch_count += 1
+        self.batched_frames += size
+        self.batch_sizes[size] += 1
+
+    def record_completion(self, queued_s: float, total_s: float) -> None:
+        """Account one finished request with its latency breakdown."""
+        self.completed += 1
+        self.queue_latency.record(queued_s)
+        self.total_latency.record(total_s)
+
+    def snapshot(self, queue_depths: dict[str, int]) -> MetricsSnapshot:
+        """Freeze the counters (plus the caller-supplied live queue depths)."""
+        uptime = max(time.perf_counter() - self.started_at, 1e-9)
+        q50, q99 = self.queue_latency.percentiles()
+        t50, t99 = self.total_latency.percentiles()
+        return MetricsSnapshot(
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            validation_failures=self.validation_failures,
+            in_flight=self.in_flight,
+            queue_depths=dict(queue_depths),
+            batch_count=self.batch_count,
+            batch_size_histogram=dict(self.batch_sizes),
+            mean_batch_size=(
+                self.batched_frames / self.batch_count if self.batch_count else 0.0
+            ),
+            queue_p50_s=q50,
+            queue_p99_s=q99,
+            total_p50_s=t50,
+            total_p99_s=t99,
+            throughput_fps=self.completed / uptime,
+            uptime_s=uptime,
+        )

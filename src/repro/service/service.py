@@ -1,0 +1,457 @@
+"""Decode-as-a-service: an asyncio dynamic-batching front-end over the batch engines.
+
+:class:`DecodeService` accepts per-frame decode requests — a code family,
+block size, rate and one channel-LLR array — from many concurrent clients
+and turns them into the large batches the engines in :mod:`repro.sim` were
+built for:
+
+* requests are validated at the boundary (shape, dtype, finiteness, known
+  codec) and rejected with typed :mod:`repro.errors` exceptions instead of
+  surfacing as NumPy broadcast errors deep inside a kernel;
+* compatible requests (same ``(family, block, rate)``) aggregate in a
+  per-codec :class:`~repro.service.batcher.DynamicBatcher` and flush on
+  *batch-full or deadline, whichever first* — the deadline is the service's
+  configurable latency budget;
+* each flushed batch is stacked into one ``(B, n)`` array and dispatched to
+  the codec's :class:`~repro.sim.batch.BatchDecoder` on an executor (an
+  in-process worker thread by default, a process-shard pool when the
+  calibration-driven planner says sharding pays — see
+  :mod:`repro.service.sharding`);
+* every caller's future resolves with its own decoded bits, iteration
+  count, convergence flag and a queue/decode latency breakdown.  Results
+  are bit-identical to a direct ``decode_batch`` call on the same LLRs
+  because the engines are row-independent (pinned by the batch=1 facade
+  property tests and again by ``tests/test_service.py``).
+
+Backpressure is explicit and configurable: ``backpressure="wait"`` makes
+``submit`` await a queue slot; ``backpressure="reject"`` raises
+:class:`~repro.errors.ServiceOverloadError` carrying a ``retry_after_s``
+estimate, the krittika ``post -> tracking id -> deliver`` transaction shape
+adapted to asyncio futures.
+
+All service state is touched from the event-loop thread only; executors
+hand results back through the loop, so no locks are needed anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    RequestValidationError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.service.batcher import DynamicBatcher, QueuedItem
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.registry import CodecEntry, CodecRegistry, default_registry
+from repro.service.sharding import DecodeCostModel, decode_in_worker, plan_shards
+
+__all__ = ["DecodeResponse", "DecodeService"]
+
+_BACKPRESSURE_MODES = ("wait", "reject")
+_EXECUTOR_MODES = ("thread", "process", "inline")
+
+
+@dataclass(frozen=True)
+class DecodeResponse:
+    """What one client gets back for one decoded frame.
+
+    ``bits`` are the decoder's hard decisions — whole codeword for LDPC,
+    information bits for turbo (``decides_info_bits`` says which).  The
+    latency breakdown separates time spent queued (waiting for the batch to
+    fill or the deadline to strike) from time spent decoding.
+    """
+
+    request_id: int
+    codec: str
+    bits: np.ndarray
+    iterations: int
+    converged: bool
+    decides_info_bits: bool
+    batch_size: int
+    queued_s: float
+    decode_s: float
+    total_s: float
+
+
+@dataclass
+class _PendingRequest:
+    """One queued request: payload plus the future its caller awaits."""
+
+    request_id: int
+    llrs: np.ndarray
+    future: asyncio.Future
+
+
+@dataclass
+class _CodecLane:
+    """Per-codec aggregation state: the batcher and its backpressure gate."""
+
+    entry: CodecEntry
+    batcher: DynamicBatcher[_PendingRequest]
+    slots: asyncio.Semaphore | None  # wait-mode queue bound (None in reject mode)
+
+
+def _decode_to_arrays(
+    entry: CodecEntry, llrs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thread/inline decode path, normalised to the process-worker signature."""
+    result = entry.decoder.decode_batch(llrs)
+    return result.hard_bits, result.iterations, result.converged
+
+
+class DecodeService:
+    """Asyncio decode service over the registry's batch engines.
+
+    Parameters
+    ----------
+    registry:
+        Codec registry; :func:`~repro.service.registry.default_registry`
+        (the WiMAX code set) when omitted.
+    max_batch:
+        Largest batch dispatched to a decoder (the engines' amortization
+        sweet spot; PR 1/2 benches use 64).
+    max_delay_s:
+        Latency budget: a request waits at most this long in the queue
+        before its batch flushes, full or not.
+    queue_capacity:
+        Per-codec bound on queued requests — the backpressure threshold.
+    backpressure:
+        ``"wait"`` (submit awaits a slot, default) or ``"reject"``
+        (submit raises :class:`~repro.errors.ServiceOverloadError` with a
+        ``retry_after_s`` estimate).
+    executor:
+        ``"thread"`` (default; one worker thread — NumPy releases the GIL
+        in the hot kernels, so the loop stays responsive), ``"process"``
+        (shard batches across ``shards`` worker processes) or ``"inline"``
+        (decode on the loop; deterministic, for tests and tiny workloads).
+    shards:
+        Worker-process count for ``executor="process"``, or ``"auto"`` to
+        let the calibration planner decide from ``offered_fps_hint`` —
+        ``"auto"`` may resolve to staying in-process (see
+        :func:`repro.service.sharding.plan_shards`); it probes
+        ``probe_codec`` (family, block, rate), default WiMAX LDPC n=576
+        rate 1/2.
+    offered_fps_hint:
+        Expected offered load in frames/sec, consumed by ``shards="auto"``.
+    """
+
+    def __init__(
+        self,
+        registry: CodecRegistry | None = None,
+        max_batch: int = 64,
+        max_delay_s: float = 0.005,
+        queue_capacity: int = 256,
+        backpressure: str = "wait",
+        executor: str = "thread",
+        shards: int | str = 0,
+        offered_fps_hint: float | None = None,
+        probe_codec: tuple[str, int, str] = ("ldpc", 576, "1/2"),
+    ) -> None:
+        if backpressure not in _BACKPRESSURE_MODES:
+            raise ConfigurationError(
+                f"backpressure must be one of {_BACKPRESSURE_MODES}, got {backpressure!r}"
+            )
+        if executor not in _EXECUTOR_MODES:
+            raise ConfigurationError(
+                f"executor must be one of {_EXECUTOR_MODES}, got {executor!r}"
+            )
+        if isinstance(shards, str):
+            if shards != "auto":
+                raise ConfigurationError(f"shards must be an int or 'auto', got {shards!r}")
+        elif shards < 0:
+            raise ConfigurationError(f"shards must be >= 0, got {shards}")
+        if queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self.registry = registry if registry is not None else default_registry()
+        self.max_batch = int(max_batch)  # DynamicBatcher validates >= 1
+        self.max_delay_s = float(max_delay_s)
+        self.queue_capacity = int(queue_capacity)
+        self.backpressure = backpressure
+        self.executor_mode = executor
+        self.shards = shards
+        self.offered_fps_hint = offered_fps_hint
+        self.probe_codec = probe_codec
+        #: Shard count the planner actually resolved to (set by ``start``).
+        self.planned_shards: int = 0
+        self.metrics = ServiceMetrics()
+        self._lanes: dict[tuple[str, int, str], _CodecLane] = {}
+        self._executor: Executor | None = None
+        self._flusher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._wake: asyncio.Event | None = None
+        self._next_request_id = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Resolve the executor (running shard planning if asked) and go live."""
+        if self._running:
+            return
+        mode = self.executor_mode
+        shards = self.shards
+        if shards == "auto":
+            family, block, rate = self.probe_codec
+            model = DecodeCostModel.calibrate(self.registry.resolve(family, block, rate))
+            shards = plan_shards(
+                model, self.offered_fps_hint or 0.0, self.max_batch
+            )
+            mode = "process" if shards else "thread"
+        if mode == "process" and not shards:
+            raise ConfigurationError("executor='process' needs shards >= 1 or 'auto'")
+        self.planned_shards = int(shards) if mode == "process" else 0
+        if mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="decode-service"
+            )
+        elif mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.planned_shards)
+        else:  # inline
+            self._executor = None
+        self.executor_mode = mode
+        self.metrics = ServiceMetrics()
+        self._wake = asyncio.Event()
+        self._running = True
+        self._flusher = asyncio.create_task(self._flush_loop())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service; by default drain queued and in-flight work first."""
+        if not self._running:
+            return
+        self._running = False  # new submits now raise ServiceClosedError
+        if drain:
+            for lane in self._lanes.values():
+                for batch in lane.batcher.flush_all():
+                    self._dispatch(lane, batch)
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        if drain and self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        for lane in self._lanes.values():
+            for batch in lane.batcher.flush_all():
+                for item in batch:
+                    if not item.payload.future.done():
+                        item.payload.future.set_exception(
+                            ServiceClosedError("service stopped before decoding")
+                        )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "DecodeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        llrs: np.ndarray,
+        family: str = "ldpc",
+        block: int = 576,
+        rate: str = "1/2",
+    ) -> DecodeResponse:
+        """Decode one frame; resolves when its batch has been decoded.
+
+        Raises :class:`~repro.errors.UnknownCodecError`,
+        :class:`~repro.errors.RequestValidationError`,
+        :class:`~repro.errors.ServiceOverloadError` (reject mode) or
+        :class:`~repro.errors.ServiceClosedError`.
+        """
+        if not self._running:
+            raise ServiceClosedError("decode service is not running; call start()")
+        entry = self.registry.resolve(family, block, rate)
+        arr = self._validate_llrs(llrs, entry)
+        lane = self._lane(entry)
+        if lane.slots is not None:  # wait mode: block until a queue slot frees
+            await lane.slots.acquire()
+            if not self._running:
+                lane.slots.release()
+                raise ServiceClosedError("service stopped while awaiting a slot")
+        loop = asyncio.get_running_loop()
+        request = _PendingRequest(
+            request_id=self._next_request_id,
+            llrs=arr,
+            future=loop.create_future(),
+        )
+        self._next_request_id += 1
+        now = loop.time()
+        flushed = lane.batcher.offer(request, now)
+        if flushed is None:  # reject mode, queue full
+            self.metrics.rejected += 1
+            deadline = lane.batcher.next_deadline()
+            retry_after = max(deadline - now, 0.0) if deadline else self.max_delay_s
+            raise ServiceOverloadError(
+                f"{entry.spec.label} queue full "
+                f"({lane.batcher.depth}/{self.queue_capacity}); "
+                f"retry in {retry_after:.4f} s",
+                retry_after_s=retry_after,
+            )
+        self.metrics.submitted += 1
+        self.metrics.in_flight += 1
+        if flushed:
+            self._dispatch(lane, flushed)
+        else:
+            self._wake.set()  # the flusher re-evaluates its sleep deadline
+        return await request.future
+
+    def _lane(self, entry: CodecEntry) -> _CodecLane:
+        lane = self._lanes.get(entry.spec.key)
+        if lane is None:
+            reject = self.backpressure == "reject"
+            lane = _CodecLane(
+                entry=entry,
+                batcher=DynamicBatcher(
+                    max_batch=self.max_batch,
+                    max_delay_s=self.max_delay_s,
+                    capacity=self.queue_capacity if reject else None,
+                ),
+                slots=None if reject else asyncio.Semaphore(self.queue_capacity),
+            )
+            self._lanes[entry.spec.key] = lane
+        return lane
+
+    def _validate_llrs(self, llrs: Any, entry: CodecEntry) -> np.ndarray:
+        try:
+            arr = np.asarray(llrs)
+        except Exception as exc:  # exotic objects numpy refuses to wrap
+            self.metrics.validation_failures += 1
+            raise RequestValidationError(f"LLRs are not array-like: {exc}") from exc
+        if arr.dtype.kind not in "fiu":
+            self.metrics.validation_failures += 1
+            raise RequestValidationError(
+                f"LLRs must be real-numeric, got dtype {arr.dtype}"
+            )
+        if arr.ndim != 1 or arr.shape[0] != entry.n_bits:
+            self.metrics.validation_failures += 1
+            raise RequestValidationError(
+                f"{entry.spec.label} expects a 1-D LLR array of length "
+                f"{entry.n_bits}, got shape {arr.shape} (batching is the "
+                "service's job — submit one frame per request)"
+            )
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            self.metrics.validation_failures += 1
+            raise RequestValidationError(
+                f"{entry.spec.label} LLRs contain NaN or infinity"
+            )
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # Flushing and dispatch
+    # ------------------------------------------------------------------ #
+    async def _flush_loop(self) -> None:
+        """Wake at the earliest queued deadline and flush everything due."""
+        loop = asyncio.get_running_loop()
+        while True:
+            deadlines = [
+                d
+                for lane in self._lanes.values()
+                if (d := lane.batcher.next_deadline()) is not None
+            ]
+            if not deadlines:
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            timeout = min(deadlines) - loop.time()
+            if timeout > 0:
+                # Sleep until the deadline, but let a new offer (which may
+                # carry an earlier deadline after an idle stretch) wake us.
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout)
+                    self._wake.clear()
+                except asyncio.TimeoutError:  # noqa: UP041 — py3.10 spells it this way
+                    pass
+                continue
+            now = loop.time()
+            for lane in self._lanes.values():
+                for batch in lane.batcher.poll(now):
+                    self._dispatch(lane, batch)
+
+    def _dispatch(self, lane: _CodecLane, batch: list[QueuedItem[_PendingRequest]]) -> None:
+        """Send one flushed batch to the executor; resolve futures when done."""
+        if lane.slots is not None:
+            for _ in batch:  # items left the queue: open their slots
+                lane.slots.release()
+        self.metrics.record_batch(len(batch))
+        stacked = np.stack([item.payload.llrs for item in batch])
+        task = asyncio.create_task(self._run_batch(lane, batch, stacked))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(
+        self,
+        lane: _CodecLane,
+        batch: list[QueuedItem[_PendingRequest]],
+        stacked: np.ndarray,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        dispatched_at = loop.time()
+        try:
+            if self._executor is None:  # inline
+                hard, iterations, converged = _decode_to_arrays(lane.entry, stacked)
+            elif isinstance(self._executor, ProcessPoolExecutor):
+                hard, iterations, converged = await loop.run_in_executor(
+                    self._executor, decode_in_worker, lane.entry.spec.key, stacked
+                )
+            else:
+                hard, iterations, converged = await loop.run_in_executor(
+                    self._executor, _decode_to_arrays, lane.entry, stacked
+                )
+        except Exception as exc:  # decoder/executor failure fans out to callers
+            for item in batch:
+                if not item.payload.future.done():
+                    item.payload.future.set_exception(exc)
+                self.metrics.in_flight -= 1
+            return
+        done_at = loop.time()
+        decode_s = done_at - dispatched_at
+        for index, item in enumerate(batch):
+            request = item.payload
+            queued_s = dispatched_at - item.enqueued_at
+            response = DecodeResponse(
+                request_id=request.request_id,
+                codec=lane.entry.spec.label,
+                bits=hard[index].copy(),
+                iterations=int(iterations[index]),
+                converged=bool(converged[index]),
+                decides_info_bits=lane.entry.decides_info_bits,
+                batch_size=len(batch),
+                queued_s=queued_s,
+                decode_s=decode_s,
+                total_s=done_at - item.enqueued_at,
+            )
+            if not request.future.done():
+                request.future.set_result(response)
+            self.metrics.record_completion(queued_s, response.total_s)
+            self.metrics.in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Freeze the live counters, including per-codec queue depths."""
+        depths = {
+            lane.entry.spec.label: lane.batcher.depth for lane in self._lanes.values()
+        }
+        return self.metrics.snapshot(depths)

@@ -67,6 +67,19 @@ class BatchDecodeResult:
         """Number of frames in this result."""
         return int(self.hard_bits.shape[0])
 
+    def frame(self, index: int) -> tuple[np.ndarray, int, bool]:
+        """Extract frame ``index`` as ``(hard_bits, iterations, converged)``.
+
+        The bits are a fresh copy, so a caller (e.g. the decode service
+        resolving one client's future) can hold them after the batch result
+        is dropped without pinning the whole ``(batch, n)`` array.
+        """
+        return (
+            self.hard_bits[index].copy(),
+            int(self.iterations[index]),
+            bool(self.converged[index]),
+        )
+
 
 @runtime_checkable
 class BatchDecoder(Protocol):

@@ -351,6 +351,20 @@ class BatchTurboResult:
         """Number of frames in this result."""
         return int(self.hard_bits.shape[0])
 
+    def frame(self, index: int) -> tuple[np.ndarray, int, bool]:
+        """Extract frame ``index`` as ``(hard_bits, iterations, converged)``.
+
+        Mirrors :meth:`repro.sim.batch.BatchDecodeResult.frame` so the decode
+        service can resolve per-request futures uniformly across families;
+        the bits are the decoded *information* bits (this decoder sets
+        ``decides_info_bits``), returned as a fresh copy.
+        """
+        return (
+            self.hard_bits[index].copy(),
+            int(self.iterations[index]),
+            bool(self.converged[index]),
+        )
+
 
 class BatchTurboDecoder:
     """Iterative duo-binary turbo decoder over ``(batch, ...)`` LLR arrays.
