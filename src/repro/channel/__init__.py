@@ -1,27 +1,46 @@
-"""Channel substrate: modulation, AWGN noise, LLR quantisation, error counting.
+"""Channel substrate: modulation, AWGN/fading noise, LLR quantisation, error counting.
 
 The paper evaluates its decoder on WiMAX codes whose soft inputs are
 log-likelihood ratios (LLRs) quantised to 7 bits (channel and a-posteriori
 values) and 5 bits (extrinsic values).  This package provides the transmit
-chain needed to produce such LLRs from random information bits — BPSK/QPSK
-mapping, an AWGN channel and the uniform quantiser — plus BER/FER counters
-used by the functional benchmarks.
+chains needed to produce such LLRs from random information bits — BPSK,
+Gray QPSK and Gray 16-QAM mapping, AWGN and flat-Rayleigh (block or
+per-symbol) channels with receiver CSI, and the uniform quantiser — plus
+BER/FER counters used by the functional benchmarks.  See the "LLR scaling
+conventions" section of ``docs/batching.md`` for the noise-variance and
+CSI conventions shared by every demapper.
 """
 
-from repro.channel.modulation import BPSKModulator, QPSKModulator, Modulator
+from repro.channel.modulation import (
+    BPSKModulator,
+    Modulator,
+    QAM16Modulator,
+    QPSKModulator,
+)
 from repro.channel.awgn import AWGNChannel, ebn0_to_noise_sigma, snr_db_to_linear
-from repro.channel.quantize import LLRQuantizer, QuantizationSpec
+from repro.channel.fading import FadedTransmission, RayleighFadingChannel
+from repro.channel.quantize import (
+    CHANNEL_LLR_SPEC,
+    EXTRINSIC_SPEC,
+    LLRQuantizer,
+    QuantizationSpec,
+)
 from repro.channel.metrics import ErrorRateAccumulator, ErrorRateReport
 
 __all__ = [
     "Modulator",
     "BPSKModulator",
     "QPSKModulator",
+    "QAM16Modulator",
     "AWGNChannel",
+    "RayleighFadingChannel",
+    "FadedTransmission",
     "ebn0_to_noise_sigma",
     "snr_db_to_linear",
     "LLRQuantizer",
     "QuantizationSpec",
+    "CHANNEL_LLR_SPEC",
+    "EXTRINSIC_SPEC",
     "ErrorRateAccumulator",
     "ErrorRateReport",
 ]

@@ -1,0 +1,115 @@
+"""Flat Rayleigh-fading channels with receiver-side CSI.
+
+The paper's architecture targets mobile standards (WiMAX, Wi-Fi, 3GPP) whose
+channels are not AWGN-only; this module adds the simplest non-trivial model
+used to exercise a decoder's robustness: frequency-flat Rayleigh fading,
+
+``y = h * x + n``,
+
+with ``h`` either drawn i.i.d. per symbol (fast fading, the classic
+fully-interleaved model) or once per frame (block fading), and ``n`` the same
+AWGN the :class:`~repro.channel.awgn.AWGNChannel` adds.  Gains are normalised
+to ``E[|h|^2] = 1`` so a given ``noise_sigma`` corresponds to the same
+*average* Eb/N0 as over AWGN — Rayleigh BER curves are therefore directly
+comparable to (and strictly worse than) their AWGN counterparts at equal
+Eb/N0.
+
+The receiver is assumed coherent with perfect CSI: :meth:`transmit` returns
+the received samples *and* the gains, and the demappers in
+:mod:`repro.channel.modulation` accept those gains through their optional
+``gains=`` argument (equalise ``z = y/h``, scale LLRs by ``|h|^2``).  For
+real constellations (BPSK) the channel applies the Rayleigh *amplitude*
+``|h|`` with real noise — the exact real-valued equivalent of a coherently
+derotated complex fade.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+
+class FadedTransmission(NamedTuple):
+    """What a fading channel hands back: observations plus the CSI behind them.
+
+    ``received`` has the symbols' shape; ``gains`` broadcasts against it —
+    equal shape for per-symbol fading, ``(..., 1)`` (one gain per frame) for
+    block fading.
+    """
+
+    received: np.ndarray
+    gains: np.ndarray
+
+
+class RayleighFadingChannel:
+    """Frequency-flat Rayleigh fading plus AWGN, with perfect-CSI output.
+
+    Parameters
+    ----------
+    noise_sigma:
+        Noise standard deviation *per real dimension* (the same convention as
+        :class:`~repro.channel.awgn.AWGNChannel`).
+    rng:
+        Optional NumPy generator; a fresh seeded generator is created when
+        omitted so results stay reproducible.
+    block_fading:
+        ``False`` (default) draws an independent gain per symbol; ``True``
+        draws one gain per frame (per row of the leading axis) and holds it
+        over the whole frame.  Block fading of a 1-D symbol vector means one
+        single gain for the entire input.
+    """
+
+    def __init__(
+        self,
+        noise_sigma: float,
+        rng: np.random.Generator | None = None,
+        *,
+        block_fading: bool = False,
+    ):
+        if noise_sigma <= 0:
+            raise ConfigurationError(f"noise_sigma must be positive, got {noise_sigma}")
+        self.noise_sigma = float(noise_sigma)
+        self.block_fading = bool(block_fading)
+        self._rng = rng if rng is not None else make_rng(0)
+
+    def _gain_shape(self, symbol_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if not self.block_fading:
+            return symbol_shape
+        return (*symbol_shape[:-1], 1)
+
+    def _draw_gains(self, shape: tuple[int, ...], symbols_complex: bool) -> np.ndarray:
+        # Complex h = (g_r + j*g_i)/sqrt(2), g ~ N(0,1): E[|h|^2] = 1 and |h|
+        # is Rayleigh.  Real constellations see the amplitude |h| directly.
+        real = self._rng.normal(0.0, 1.0, size=shape)
+        imag = self._rng.normal(0.0, 1.0, size=shape)
+        h = (real + 1j * imag) / np.sqrt(2.0)
+        return h if symbols_complex else np.abs(h)
+
+    def transmit(self, symbols: np.ndarray) -> FadedTransmission:
+        """Fade and add noise to a block of channel symbols; return CSI too."""
+        arr = np.asarray(symbols)
+        symbols_complex = bool(np.iscomplexobj(arr))
+        gains = self._draw_gains(self._gain_shape(arr.shape), symbols_complex)
+        faded = arr * gains
+        if symbols_complex:
+            noise = self._rng.normal(0.0, self.noise_sigma, size=arr.shape) + 1j * (
+                self._rng.normal(0.0, self.noise_sigma, size=arr.shape)
+            )
+        else:
+            noise = self._rng.normal(0.0, self.noise_sigma, size=arr.shape)
+        return FadedTransmission(received=faded + noise, gains=gains)
+
+    def llr_noise_variance(self, symbols_complex: bool) -> float:
+        """Noise variance argument expected by the matching demapper.
+
+        Identical to :meth:`repro.channel.awgn.AWGNChannel.llr_noise_variance`
+        — fading changes the per-symbol signal scale (handled by the CSI
+        gains), not the additive-noise convention.
+        """
+        if symbols_complex:
+            return 2.0 * self.noise_sigma**2
+        return self.noise_sigma**2

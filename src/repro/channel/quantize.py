@@ -72,23 +72,37 @@ EXTRINSIC_SPEC = QuantizationSpec(total_bits=5, frac_bits=0)
 
 
 class LLRQuantizer:
-    """Symmetric uniform quantiser with saturation.
+    """Uniform quantiser with saturation, symmetric by default.
 
     ``quantize`` returns integer levels (the values that live in the decoder
     memories); ``dequantize`` maps levels back to the real domain.  Both are
     vectorised over NumPy arrays.
+
+    ``symmetric=True`` (the decoder-datapath default) saturates to
+    ``[-max_level, max_level]``, so every representable level has a
+    representable negation — a min-sum check node flips message signs, and a
+    two's-complement ``min_level`` whose negation overflows the format would
+    poison that datapath.  ``symmetric=False`` opts into the full asymmetric
+    two's-complement range ``[min_level, max_level]`` (storage-format
+    semantics, e.g. for memory-image round-trips).
     """
 
-    def __init__(self, spec: QuantizationSpec):
+    def __init__(self, spec: QuantizationSpec, *, symmetric: bool = True):
         if not isinstance(spec, QuantizationSpec):
             raise ConfigurationError("LLRQuantizer requires a QuantizationSpec")
         self.spec = spec
+        self.symmetric = bool(symmetric)
+
+    @property
+    def lowest_level(self) -> int:
+        """The saturation floor actually applied: ``-max_level`` when symmetric."""
+        return -self.spec.max_level if self.symmetric else self.spec.min_level
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
         """Quantise real values to saturated integer levels (dtype ``int32``)."""
         arr = np.asarray(values, dtype=np.float64)
         levels = np.round(arr / self.spec.step)
-        levels = np.clip(levels, self.spec.min_level, self.spec.max_level)
+        levels = np.clip(levels, self.lowest_level, self.spec.max_level)
         return levels.astype(np.int32)
 
     def dequantize(self, levels: np.ndarray) -> np.ndarray:
@@ -101,6 +115,6 @@ class LLRQuantizer:
         return self.dequantize(self.quantize(values))
 
     def saturating_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Add two arrays of integer levels with saturation at the format limits."""
+        """Add two arrays of integer levels with saturation at the quantiser limits."""
         result = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
-        return np.clip(result, self.spec.min_level, self.spec.max_level).astype(np.int32)
+        return np.clip(result, self.lowest_level, self.spec.max_level).astype(np.int32)

@@ -8,6 +8,8 @@ of degree 6/7).  This package provides:
 * :class:`~repro.ldpc.qc.QCBaseMatrix` — quasi-cyclic base matrices and their
   expansion,
 * :mod:`~repro.ldpc.wimax` — the 802.16e code class (all rates and lengths),
+* :mod:`~repro.ldpc.wifi` — the 802.11n (Wi-Fi) n=1944 code set, rates 1/2
+  and 5/6, exercising the multi-standard claim through the same machinery,
 * :class:`~repro.ldpc.encoder.LDPCEncoder` — systematic encoding,
 * :class:`~repro.ldpc.layered.LayeredMinSumDecoder` — the layered
   normalized-min-sum decoder of paper eqs. (6)-(11),
@@ -30,6 +32,12 @@ from repro.ldpc.wimax import (
     wimax_ldpc_code,
     list_wimax_codes,
 )
+from repro.ldpc.wifi import (
+    WIFI_CODE_RATES,
+    WifiLdpcCode,
+    wifi_ldpc_code,
+    list_wifi_codes,
+)
 from repro.ldpc.encoder import LDPCEncoder
 from repro.ldpc.tanner import TannerGraph
 from repro.ldpc.layered import LayeredMinSumDecoder, LayeredDecoderResult
@@ -45,6 +53,10 @@ __all__ = [
     "WimaxLdpcCode",
     "wimax_ldpc_code",
     "list_wimax_codes",
+    "WIFI_CODE_RATES",
+    "WifiLdpcCode",
+    "wifi_ldpc_code",
+    "list_wifi_codes",
     "LDPCEncoder",
     "TannerGraph",
     "LayeredMinSumDecoder",

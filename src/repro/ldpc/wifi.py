@@ -1,0 +1,173 @@
+"""IEEE 802.11n-style (Wi-Fi) QC-LDPC code class, n = 1944.
+
+802.11n defines QC-LDPC codes over 24 block columns at three codeword
+lengths (648/1296/1944, i.e. z = 27/54/81) and four rates.  This module
+provides the n = 1944 (z = 81) parameter set at rates 1/2 and 5/6 — the
+pair that brackets the standard's operating range — as a second standard
+alongside the WiMAX set, exercising the paper's *multi-standard* claim:
+the same layered decoder datapath, batch engines, BER runner and decode
+service serve it unchanged because it is just another
+:class:`~repro.ldpc.qc.QCBaseMatrix` expansion.
+
+The base matrices follow the standard's structure (24 block columns,
+dual-diagonal parity part with the 1/0/1 first parity column, degree
+profile); shift values are transcribed for z = 81 — see the reproduction
+caveat in DESIGN.md §7, which applies here exactly as it does to the WiMAX
+tables.  Unlike WiMAX, no shift scaling is involved: 802.11n specifies an
+independent table per block length and only the native z = 81 table is
+embedded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import CodeDefinitionError
+from repro.ldpc.encoder import LDPCEncoder
+from repro.ldpc.hmatrix import ParityCheckMatrix
+from repro.ldpc.qc import QCBaseMatrix
+
+#: Code rates provided by this module (802.11n also defines 2/3 and 3/4).
+WIFI_CODE_RATES: tuple[str, ...] = ("1/2", "5/6")
+
+#: The one codeword length embedded here (z = 81, the standard's largest).
+WIFI_BLOCK_LENGTH = 1944
+
+#: Number of block columns shared by every 802.11n base matrix.
+WIFI_BLOCK_COLUMNS = 24
+
+#: Expansion factor of the embedded tables.
+WIFI_EXPANSION_FACTOR = 81
+
+_X = -1  # readability alias for the all-zero block marker
+
+# --------------------------------------------------------------------------- #
+# Base matrices for z = 81 (shift values in [0, 81) or -1).
+# --------------------------------------------------------------------------- #
+_BASE_RATE_1_2 = [
+    [57, _X, _X, _X, 50, _X, 11, _X, 50, _X, 79, _X, 1, 0, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X],
+    [3, _X, 28, _X, 0, _X, _X, _X, 55, 7, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X, _X, _X],
+    [30, _X, _X, _X, 24, 37, _X, _X, 56, 14, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X, _X],
+    [62, 53, _X, _X, 53, _X, _X, 3, 35, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X, _X],
+    [40, _X, _X, 20, 66, _X, _X, 22, 28, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X, _X],
+    [0, _X, _X, _X, 8, _X, 42, _X, 50, _X, _X, 8, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X, _X],
+    [69, 79, 79, _X, _X, _X, 56, _X, 52, _X, _X, _X, 0, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X, _X],
+    [65, _X, _X, _X, 38, 57, _X, _X, 72, _X, 27, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X, _X],
+    [64, _X, _X, _X, 14, 52, _X, _X, 30, _X, _X, 32, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X, _X],
+    [_X, 45, _X, 70, 0, _X, _X, _X, 77, 9, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0, _X],
+    [2, 56, _X, 57, 35, _X, _X, _X, _X, _X, 12, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0, 0],
+    [24, _X, 61, _X, 60, _X, _X, 27, 51, _X, _X, 16, 1, _X, _X, _X, _X, _X, _X, _X, _X, _X, _X, 0],
+]
+
+_BASE_RATE_5_6 = [
+    [13, 48, 80, 66, 4, 74, 7, 30, 76, 52, 37, 60, _X, 49, 73, 31, 74, 73, 23, _X, 1, 0, _X, _X],
+    [69, 63, 74, 56, 64, 77, 57, 65, 6, 16, 51, _X, 64, _X, 68, 9, 48, 62, 54, 27, _X, 0, 0, _X],
+    [51, 15, 0, 80, 24, 25, 42, 54, 44, 71, 71, 9, 67, 35, _X, 58, _X, 29, _X, 53, 0, _X, 0, 0],
+    [16, 29, 36, 41, 44, 56, 59, 37, 50, 24, _X, 65, 4, 65, 52, _X, 4, _X, 73, 52, 1, _X, _X, 0],
+]
+
+_BASE_MATRICES_Z81: dict[str, list[list[int]]] = {
+    "1/2": _BASE_RATE_1_2,
+    "5/6": _BASE_RATE_5_6,
+}
+
+
+@dataclass
+class WifiLdpcCode:
+    """One fully expanded 802.11n LDPC code.
+
+    Attributes
+    ----------
+    rate_name:
+        One of :data:`WIFI_CODE_RATES`.
+    z:
+        Expansion factor (81 for every embedded code).
+    base:
+        The base matrix.
+    h:
+        The expanded parity-check matrix.
+    """
+
+    rate_name: str
+    z: int
+    base: QCBaseMatrix
+    h: ParityCheckMatrix
+
+    def __post_init__(self) -> None:
+        self._encoder: LDPCEncoder | None = None
+
+    @property
+    def n(self) -> int:
+        """Codeword length in bits."""
+        return self.h.n_cols
+
+    @property
+    def m(self) -> int:
+        """Number of parity checks."""
+        return self.h.n_rows
+
+    @property
+    def k(self) -> int:
+        """Number of information bits."""
+        return self.n - self.m
+
+    @property
+    def rate(self) -> float:
+        """Nominal code rate."""
+        return self.k / self.n
+
+    @property
+    def encoder(self) -> LDPCEncoder:
+        """Systematic encoder for this code (constructed lazily and cached)."""
+        if self._encoder is None:
+            self._encoder = LDPCEncoder(self.h)
+        return self._encoder
+
+    def encode(self, info_bits: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` information bits into an ``n``-bit codeword."""
+        return self.encoder.encode(info_bits)
+
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, k)`` bit array into ``(batch, n)`` codewords."""
+        return self.encoder.encode_batch(info_bits)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"802.11n LDPC rate {self.rate_name}, n={self.n}, k={self.k}, z={self.z}, "
+            f"checks={self.m}, edges={self.h.n_edges}"
+        )
+
+
+@lru_cache(maxsize=None)
+def wifi_ldpc_code(n: int = 1944, rate: str = "1/2") -> WifiLdpcCode:
+    """Construct (and cache) the 802.11n LDPC code of length ``n`` and rate ``rate``.
+
+    Parameters
+    ----------
+    n:
+        Codeword length in bits; only :data:`WIFI_BLOCK_LENGTH` (1944) is
+        embedded.
+    rate:
+        Rate string from :data:`WIFI_CODE_RATES`.
+    """
+    if rate not in WIFI_CODE_RATES:
+        raise CodeDefinitionError(
+            f"unknown 802.11n LDPC rate {rate!r}; valid rates: {WIFI_CODE_RATES}"
+        )
+    if n != WIFI_BLOCK_LENGTH:
+        raise CodeDefinitionError(
+            f"802.11n LDPC block length must be {WIFI_BLOCK_LENGTH}, got {n}"
+        )
+    base = QCBaseMatrix.from_lists(_BASE_MATRICES_Z81[rate], WIFI_EXPANSION_FACTOR)
+    return WifiLdpcCode(
+        rate_name=rate, z=WIFI_EXPANSION_FACTOR, base=base, h=base.expand()
+    )
+
+
+def list_wifi_codes() -> list[tuple[int, str]]:
+    """Enumerate every (n, rate) pair this module provides."""
+    return [(WIFI_BLOCK_LENGTH, rate) for rate in WIFI_CODE_RATES]

@@ -2,7 +2,8 @@
 
 The decode service routes every request through one of these entries.  A
 :class:`CodecSpec` names a codec the way a client does — ``family``
-(``"ldpc"`` or ``"turbo"``), ``block`` (codeword length ``n`` for LDPC,
+(``"ldpc"`` for WiMAX LDPC, ``"wifi"`` for the 802.11n set, ``"turbo"`` for
+the CTC), ``block`` (codeword length ``n`` for the LDPC families,
 couple count ``N`` for the duo-binary CTC) and the standard's ``rate``
 string — and the registry lazily builds and caches the matching
 :class:`~repro.sim.batch.BatchDecoder` (plus the encoder, which demos and
@@ -86,6 +87,22 @@ def _build_ldpc_entry(spec: CodecSpec) -> CodecEntry:
     from repro.sim.batch import BatchLayeredDecoder
 
     code = wimax_ldpc_code(spec.block, spec.rate)
+    decoder = BatchLayeredDecoder(code.h, max_iterations=LDPC_MAX_ITERATIONS)
+    return CodecEntry(
+        spec=spec,
+        code=code,
+        decoder=decoder,
+        n_bits=code.n,
+        k_bits=code.k,
+        decides_info_bits=False,
+    )
+
+
+def _build_wifi_entry(spec: CodecSpec) -> CodecEntry:
+    from repro.ldpc.wifi import wifi_ldpc_code
+    from repro.sim.batch import BatchLayeredDecoder
+
+    code = wifi_ldpc_code(spec.block, spec.rate)
     decoder = BatchLayeredDecoder(code.h, max_iterations=LDPC_MAX_ITERATIONS)
     return CodecEntry(
         spec=spec,
@@ -182,10 +199,13 @@ def default_registry() -> CodecRegistry:
     * ``ldpc`` — every WiMAX LDPC ``(n, rate)`` pair (n = 576..2304, six
       rate classes), decoded by the layered normalized-min-sum batch engine
       at the paper's 10 iterations;
+    * ``wifi`` — the 802.11n LDPC n = 1944 set (rates 1/2 and 5/6), through
+      the same layered engine (the multi-standard point of the paper);
     * ``turbo`` — the WiMAX duo-binary CTC at every standard interleaver
       block size, rates 1/2 and 1/3, decoded by the batched Max-Log-MAP
       turbo engine at the paper's 8 iterations.
     """
+    from repro.ldpc.wifi import list_wifi_codes
     from repro.ldpc.wimax import list_wimax_codes
     from repro.turbo.ctc_interleaver import supported_ctc_block_sizes
     from repro.turbo.encoder import TurboEncoder
@@ -195,6 +215,11 @@ def default_registry() -> CodecRegistry:
         "ldpc",
         _build_ldpc_entry,
         known=[CodecSpec("ldpc", n, rate) for n, rate in list_wimax_codes()],
+    )
+    registry.register_family(
+        "wifi",
+        _build_wifi_entry,
+        known=[CodecSpec("wifi", n, rate) for n, rate in list_wifi_codes()],
     )
     registry.register_family(
         "turbo",

@@ -37,10 +37,11 @@ from repro.sim.batch import (
     BatchDecoder,
     BatchFloodingDecoder,
     BatchLayeredDecoder,
+    QuantizedBatchDecoder,
 )
 from repro.sim.edges import EdgeIndex
 from repro.sim.kernels import min_sum_update, sum_product_update
-from repro.sim.runner import BerPoint, BerRunner, resolve_code_rate
+from repro.sim.runner import CHANNEL_FACTORIES, BerPoint, BerRunner, resolve_code_rate
 from repro.sim.stats import wilson_interval
 from repro.sim.turbo_batch import (
     BatchBCJR,
@@ -60,7 +61,9 @@ __all__ = [
     "BatchTurboResult",
     "BerPoint",
     "BerRunner",
+    "CHANNEL_FACTORIES",
     "EdgeIndex",
+    "QuantizedBatchDecoder",
     "min_sum_update",
     "resolve_code_rate",
     "sum_product_update",

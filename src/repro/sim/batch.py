@@ -210,6 +210,58 @@ class BatchFloodingDecoder:
         )
 
 
+class QuantizedBatchDecoder:
+    """Fixed-point channel-LLR front-end around any :class:`BatchDecoder`.
+
+    Round-trips every channel LLR through an
+    :class:`~repro.channel.quantize.LLRQuantizer` (the paper's 7-bit/1-frac
+    channel format by default, symmetric saturation) before handing the batch
+    to the wrapped decoder, so the finite-precision *input* behaviour of the
+    paper's datapath is simulable at scale with either code family —
+    including :class:`~repro.sim.turbo_batch.BatchTurboDecoder`, which has no
+    ``fixed_point`` mode of its own.  For the LDPC layered decoder's full
+    internal fixed-point datapath (5-bit extrinsics too) combine this with
+    ``BatchLayeredDecoder(fixed_point=True)``.
+
+    The wrapper satisfies the :class:`BatchDecoder` protocol and forwards
+    ``decides_info_bits``, so it drops into
+    :class:`~repro.sim.runner.BerRunner` wherever the wrapped decoder did.
+    """
+
+    def __init__(self, decoder: BatchDecoder, quantizer: "LLRQuantizer | None" = None):
+        if not isinstance(decoder, BatchDecoder):
+            raise DecodingError(
+                "QuantizedBatchDecoder wraps a BatchDecoder (needs n_bits and "
+                f"decode_batch), got {type(decoder).__name__}"
+            )
+        self._decoder = decoder
+        self.quantizer = (
+            quantizer if quantizer is not None else LLRQuantizer(CHANNEL_LLR_SPEC)
+        )
+        if not isinstance(self.quantizer, LLRQuantizer):
+            raise DecodingError("quantizer must be an LLRQuantizer")
+
+    @property
+    def n_bits(self) -> int:
+        """Channel-LLR length of the wrapped decoder."""
+        return self._decoder.n_bits
+
+    @property
+    def decides_info_bits(self) -> bool:
+        """Mirror of the wrapped decoder's decision convention."""
+        return bool(getattr(self._decoder, "decides_info_bits", False))
+
+    @property
+    def inner(self) -> BatchDecoder:
+        """The wrapped decoder."""
+        return self._decoder
+
+    def decode_batch(self, channel_llrs: np.ndarray) -> BatchDecodeResult:
+        """Quantise the channel LLRs, then decode with the wrapped decoder."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        return self._decoder.decode_batch(self.quantizer.quantize_to_real(llrs))
+
+
 class BatchLayeredDecoder:
     """Layered (horizontal-schedule) decoder vectorised over frames.
 

@@ -1,12 +1,14 @@
 """Streaming Monte-Carlo BER runner built on the batched decoders.
 
 ``BerRunner`` drives the full functional chain — random information bits →
-systematic encoding → modulation → AWGN → LLR demapping → batched decoding —
-in configurable batch sizes, accumulating bit/frame error counts per Eb/N0
-point until either an error target or a frame budget is hit.  Every batch
-draws from its own RNG spawned off one :class:`numpy.random.SeedSequence`,
-so a sweep is reproducible bit-for-bit for a fixed ``(seed, batch_size)``
-and statistically independent across batches and points.
+systematic encoding → modulation → channel (AWGN or Rayleigh fading) → LLR
+demapping (CSI-weighted under fading, optionally fixed-point quantised) →
+batched decoding — in configurable batch sizes, accumulating bit/frame error
+counts per Eb/N0 point until either an error target or a frame budget is
+hit.  Every batch draws from its own RNG spawned off one
+:class:`numpy.random.SeedSequence`, so a sweep is reproducible bit-for-bit
+for a fixed ``(seed, batch_size)`` and statistically independent across
+batches and points.
 
 The runner is code-family agnostic: any code exposing ``k`` / ``n`` /
 ``rate`` / ``encode_batch`` paired with any
@@ -19,6 +21,14 @@ loop.  Decoders may decide either whole codewords (the LDPC decoders) or
 just the information bits (the turbo decoder); the runner counts errors over
 whichever the decoder returns.
 
+It is channel-model agnostic the same way: ``channel=`` selects AWGN
+(default), per-symbol i.i.d. Rayleigh (``"rayleigh"``) or block Rayleigh
+(``"rayleigh-block"``) by name, or any callable ``(noise_sigma, rng) ->
+channel`` exposing ``transmit`` and ``llr_noise_variance``.  A channel whose
+``transmit`` returns ``(received, gains)`` (the fading channels) gets its
+CSI threaded into ``Modulator.demodulate_llr(..., gains=...)`` — zero new
+simulation loops per scenario.
+
 Point estimates come with Wilson confidence intervals
 (:func:`repro.sim.stats.wilson_interval`); conditional-moment estimation
 practice (Song-Jiang-Zhu, arXiv:2404.11092) motivates never reporting a
@@ -28,15 +38,26 @@ Monte-Carlo BER without its interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
 from repro.channel.awgn import AWGNChannel, ebn0_to_noise_sigma
+from repro.channel.fading import RayleighFadingChannel
 from repro.channel.modulation import BPSKModulator, Modulator
+from repro.channel.quantize import LLRQuantizer
 from repro.errors import ConfigurationError, DecodingError
 from repro.sim.batch import BatchDecoder
 from repro.sim.stats import wilson_interval
+
+#: Channel factories selectable by name through ``BerRunner(channel=...)``.
+CHANNEL_FACTORIES: dict[str, Callable[[float, np.random.Generator], object]] = {
+    "awgn": AWGNChannel,
+    "rayleigh": RayleighFadingChannel,
+    "rayleigh-block": lambda sigma, rng: RayleighFadingChannel(
+        sigma, rng, block_fading=True
+    ),
+}
 
 
 class _EncodableCode(Protocol):
@@ -60,16 +81,29 @@ class _EncodableCode(Protocol):
 
 
 def resolve_code_rate(rate: float | str) -> float:
-    """Normalise a code rate given as a float or an ``"a/b"`` string."""
+    """Normalise a code rate given as a float or an ``"a/b"`` string.
+
+    The result is validated to lie in ``(0, 1]`` — an out-of-range rate
+    (``"5/4"``, a negative fraction) is a configuration mistake that would
+    otherwise only surface later inside
+    :func:`~repro.channel.awgn.ebn0_to_noise_sigma`.
+    """
     if isinstance(rate, str):
         numerator, sep, denominator = rate.partition("/")
         try:
             if not sep:
-                return float(numerator)
-            return float(numerator) / float(denominator)
+                value = float(numerator)
+            else:
+                value = float(numerator) / float(denominator)
         except (ValueError, ZeroDivisionError) as exc:
             raise ConfigurationError(f"cannot parse code rate {rate!r}") from exc
-    return float(rate)
+    else:
+        value = float(rate)
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(
+            f"code rate must be in (0, 1], got {rate!r} (= {value})"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -128,6 +162,16 @@ class BerRunner:
         :class:`~repro.sim.turbo_batch.BatchTurboDecoder` alike.
     modulator:
         Bit-to-symbol mapper (batched); BPSK when omitted.
+    channel:
+        Channel model per run: a name from :data:`CHANNEL_FACTORIES`
+        (``"awgn"``, ``"rayleigh"``, ``"rayleigh-block"``) or a callable
+        ``(noise_sigma, rng) -> channel``.  Fading channels return CSI from
+        ``transmit`` and the runner threads it into the demapper.
+    llr_quantizer:
+        Optional :class:`~repro.channel.quantize.LLRQuantizer`: round-trip
+        every channel LLR through it before decoding (the paper's
+        fixed-point channel front-end).  Equivalent to wrapping the decoder
+        in :class:`~repro.sim.batch.QuantizedBatchDecoder`.
     batch_size:
         Frames decoded per batch.  See ``docs/batching.md`` for guidance;
         64 is a good default for WiMAX-sized codes.
@@ -148,6 +192,8 @@ class BerRunner:
         decoder: BatchDecoder,
         modulator: Modulator | None = None,
         *,
+        channel: str | Callable[[float, np.random.Generator], object] = "awgn",
+        llr_quantizer: LLRQuantizer | None = None,
         batch_size: int = 64,
         max_frames: int = 10_000,
         target_frame_errors: int | None = 50,
@@ -166,9 +212,28 @@ class BerRunner:
             raise ConfigurationError(
                 f"decoder expects n={decoder.n_bits} but the code has n={code.n}"
             )
+        if isinstance(channel, str):
+            try:
+                self._channel_factory = CHANNEL_FACTORIES[channel]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown channel {channel!r}; known channels: "
+                    f"{sorted(CHANNEL_FACTORIES)} (or pass a factory callable)"
+                ) from None
+        elif callable(channel):
+            self._channel_factory = channel
+        else:
+            raise ConfigurationError(
+                f"channel must be a name or a (noise_sigma, rng) -> channel "
+                f"factory, got {channel!r}"
+            )
+        if llr_quantizer is not None and not isinstance(llr_quantizer, LLRQuantizer):
+            raise ConfigurationError("llr_quantizer must be an LLRQuantizer or None")
         self.code = code
         self.decoder = decoder
         self.modulator = modulator if modulator is not None else BPSKModulator()
+        self.channel = channel
+        self.llr_quantizer = llr_quantizer
         self.batch_size = int(batch_size)
         self.max_frames = int(max_frames)
         self.target_frame_errors = target_frame_errors
@@ -203,11 +268,19 @@ class BerRunner:
             info = rng.integers(0, 2, size=(batch, self.code.k))
             codewords = self.code.encode_batch(info)
             symbols = self.modulator.modulate(codewords)
-            channel = AWGNChannel(sigma, rng)
-            received = channel.transmit(symbols)
+            channel = self._channel_factory(sigma, rng)
+            transmission = channel.transmit(symbols)
+            if isinstance(transmission, tuple):
+                received, gains = transmission
+            else:
+                received, gains = transmission, None
             llrs = self.modulator.demodulate_llr(
-                received, channel.llr_noise_variance(np.iscomplexobj(symbols))
+                received,
+                channel.llr_noise_variance(np.iscomplexobj(symbols)),
+                gains=gains,
             )
+            if self.llr_quantizer is not None:
+                llrs = self.llr_quantizer.quantize_to_real(llrs)
             result = self.decoder.decode_batch(llrs)
             decisions = np.asarray(result.hard_bits)
             # LDPC decoders decide whole codewords; a decoder that sets

@@ -10,8 +10,10 @@ from repro.channel import (
     BPSKModulator,
     ErrorRateAccumulator,
     LLRQuantizer,
+    QAM16Modulator,
     QPSKModulator,
     QuantizationSpec,
+    RayleighFadingChannel,
     ebn0_to_noise_sigma,
     snr_db_to_linear,
 )
@@ -59,6 +61,28 @@ class TestBPSK:
         with pytest.raises(ConfigurationError):
             BPSKModulator().demodulate_llr(np.array([1.0]), noise_variance=0.0)
 
+    def test_rejects_non_integral_floats(self):
+        # Regression: 0.5 passed the min/max range check and was silently
+        # truncated to bit 0 by the int8 cast.
+        with pytest.raises(DecodingError):
+            BPSKModulator().modulate(np.array([0.0, 0.5]))
+
+    def test_accepts_integral_floats_and_bools(self):
+        mod = BPSKModulator()
+        assert mod.modulate(np.array([0.0, 1.0])).tolist() == [1.0, -1.0]
+        assert mod.modulate(np.array([False, True])).tolist() == [1.0, -1.0]
+
+    def test_gains_scale_llrs(self):
+        mod = BPSKModulator()
+        llr = mod.demodulate_llr(np.array([0.7]), 0.5, gains=np.array([2.0]))
+        assert llr[0] == pytest.approx(2 * 2.0 * 0.7 / 0.5)
+
+    def test_rejects_complex_gains_for_real_constellation(self):
+        with pytest.raises(DecodingError):
+            BPSKModulator().demodulate_llr(
+                np.array([1.0]), 0.5, gains=np.array([1.0 + 1j])
+            )
+
 
 class TestQPSK:
     def test_unit_energy(self):
@@ -81,6 +105,76 @@ class TestQPSK:
         with pytest.raises(DecodingError):
             QPSKModulator().modulate(np.array([0, 1, 0]))
 
+    def test_llr_magnitude_pinned_with_channel_convention(self):
+        # Regression for the AWGNChannel.noise_variance bug: demapping QPSK
+        # with the per-dimension sigma^2 instead of llr_noise_variance(True)
+        # produced LLRs exactly 2x too hot.  Pin the correct magnitude.
+        mod = QPSKModulator()
+        channel = AWGNChannel(0.5)
+        nv = channel.llr_noise_variance(True)  # 2 * 0.5^2 = 0.5
+        llrs = mod.demodulate_llr(np.array([0.7 + 0.2j]), nv)
+        assert llrs[0] == pytest.approx(2 * np.sqrt(2) * 0.7 / 0.5)
+        assert llrs[1] == pytest.approx(2 * np.sqrt(2) * 0.2 / 0.5)
+
+    def test_csi_gains_equalize_and_reweight(self):
+        mod = QPSKModulator()
+        bits = np.array([0, 1, 1, 0])
+        clean = mod.modulate(bits)
+        h = np.array([0.5 * np.exp(1j * 0.7), 2.0 * np.exp(-1j * 1.1)])
+        faded = clean * h
+        llrs = mod.demodulate_llr(faded, 0.5, gains=h)
+        # Equalised observation is the clean symbol; LLR scale is |h|^2.
+        base = mod.demodulate_llr(clean, 0.5)
+        expected = base * np.repeat(np.abs(h) ** 2, 2)
+        assert np.allclose(llrs, expected)
+
+
+class TestQAM16:
+    def test_unit_average_energy(self):
+        mod = QAM16Modulator()
+        # All 16 bit patterns once: average symbol energy is exactly 1.
+        bits = np.array(
+            [[b >> 3 & 1, b >> 2 & 1, b >> 1 & 1, b & 1] for b in range(16)]
+        ).reshape(1, -1)
+        symbols = mod.modulate(bits)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0)
+
+    def test_gray_mapping_neighbours_differ_in_one_bit(self):
+        mod = QAM16Modulator()
+        patterns = [(s, m) for s in (0, 1) for m in (0, 1)]
+        level_of = {}
+        for sign, mag in patterns:
+            sym = mod.modulate(np.array([sign, mag, 0, 0]))
+            level_of[(sign, mag)] = sym[0].real * np.sqrt(10)
+        ordered = sorted(level_of.items(), key=lambda kv: kv[1])
+        for (bits_a, _), (bits_b, _) in zip(ordered, ordered[1:]):
+            hamming = sum(a != b for a, b in zip(bits_a, bits_b))
+            assert hamming == 1
+
+    def test_llr_recovers_bits_noiseless(self):
+        mod = QAM16Modulator()
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(3, 64))
+        llrs = mod.demodulate_llr(mod.modulate(bits), noise_variance=0.5)
+        assert ((llrs < 0).astype(int) == bits).all()
+
+    def test_rejects_bit_count_not_multiple_of_four(self):
+        with pytest.raises(DecodingError):
+            QAM16Modulator().modulate(np.array([0, 1, 0]))
+
+    def test_batched_matches_rowwise(self):
+        mod = QAM16Modulator()
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(4, 16))
+        symbols = mod.modulate(bits)
+        noisy = symbols + 0.2 * (
+            rng.normal(size=symbols.shape) + 1j * rng.normal(size=symbols.shape)
+        )
+        llrs = mod.demodulate_llr(noisy, 0.3)
+        for row in range(bits.shape[0]):
+            assert np.array_equal(symbols[row], mod.modulate(bits[row]))
+            assert np.allclose(llrs[row], mod.demodulate_llr(noisy[row], 0.3))
+
 
 class TestAWGN:
     def test_noise_statistics(self):
@@ -100,6 +194,16 @@ class TestAWGN:
         channel = AWGNChannel(0.5)
         assert channel.llr_noise_variance(False) == pytest.approx(0.25)
         assert channel.llr_noise_variance(True) == pytest.approx(0.5)
+
+    def test_noise_variance_property_is_deprecated(self):
+        # Regression: the property claimed to return the demapper total
+        # (2*sigma^2 for complex) but returned sigma^2; it is now deprecated
+        # in favour of llr_noise_variance.
+        channel = AWGNChannel(0.5)
+        with pytest.warns(DeprecationWarning, match="llr_noise_variance"):
+            value = channel.noise_variance
+        assert value == pytest.approx(0.25)
+        assert channel.llr_noise_variance(True) == pytest.approx(2 * value)
 
     def test_rejects_non_positive_sigma(self):
         with pytest.raises(ConfigurationError):
@@ -126,6 +230,54 @@ class TestAWGN:
             ebn0_to_noise_sigma(2.0, 1.5)
 
 
+class TestRayleighFading:
+    def test_per_symbol_gains_shape_and_statistics(self):
+        channel = RayleighFadingChannel(0.01, np.random.default_rng(0))
+        symbols = np.ones((100, 500), dtype=complex)
+        received, gains = channel.transmit(symbols)
+        assert gains.shape == symbols.shape
+        assert received.shape == symbols.shape
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_block_fading_one_gain_per_frame(self):
+        channel = RayleighFadingChannel(
+            0.01, np.random.default_rng(1), block_fading=True
+        )
+        symbols = np.ones((8, 64), dtype=complex)
+        received, gains = channel.transmit(symbols)
+        assert gains.shape == (8, 1)
+        assert len(np.unique(gains)) == 8
+
+    def test_real_symbols_get_rayleigh_amplitudes(self):
+        channel = RayleighFadingChannel(0.01, np.random.default_rng(2))
+        received, gains = channel.transmit(np.ones((4, 32)))
+        assert not np.iscomplexobj(gains)
+        assert (gains > 0).all()
+        assert not np.iscomplexobj(received)
+        assert np.mean(gains**2) == pytest.approx(1.0, rel=0.25)
+
+    def test_llr_noise_variance_matches_awgn_convention(self):
+        channel = RayleighFadingChannel(0.5)
+        awgn = AWGNChannel(0.5)
+        assert channel.llr_noise_variance(True) == awgn.llr_noise_variance(True)
+        assert channel.llr_noise_variance(False) == awgn.llr_noise_variance(False)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            RayleighFadingChannel(0.0)
+
+    def test_csi_demap_recovers_bits_at_high_snr(self):
+        mod = QPSKModulator()
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=(16, 128))
+        channel = RayleighFadingChannel(0.01, np.random.default_rng(4))
+        received, gains = channel.transmit(mod.modulate(bits))
+        llrs = mod.demodulate_llr(
+            received, channel.llr_noise_variance(True), gains=gains
+        )
+        assert ((llrs < 0).astype(int) == bits).all()
+
+
 class TestQuantizer:
     def test_paper_formats(self):
         assert CHANNEL_LLR_SPEC.total_bits == 7
@@ -148,10 +300,28 @@ class TestQuantizer:
         with pytest.raises(ConfigurationError):
             QuantizationSpec(total_bits=4, frac_bits=4)
 
-    def test_quantize_saturates(self):
+    def test_quantize_saturates_symmetrically_by_default(self):
+        # Regression: the default used to clip to the asymmetric two's-
+        # complement floor -2**(b-1), whose negation overflows the format —
+        # poison for min-sum sign flips.  The decoder-datapath default is now
+        # symmetric saturation at -max_level.
         quant = LLRQuantizer(QuantizationSpec(5, 0))
         levels = quant.quantize(np.array([100.0, -100.0]))
+        assert levels.tolist() == [15, -15]
+        assert quant.lowest_level == -15
+
+    def test_asymmetric_mode_is_opt_in(self):
+        quant = LLRQuantizer(QuantizationSpec(5, 0), symmetric=False)
+        levels = quant.quantize(np.array([100.0, -100.0]))
         assert levels.tolist() == [15, -16]
+        assert quant.lowest_level == -16
+
+    def test_symmetric_negation_closure(self):
+        quant = LLRQuantizer(QuantizationSpec(5, 0))
+        values = np.linspace(-40.0, 40.0, 401)
+        levels = quant.quantize(values)
+        flipped = quant.quantize(-values)
+        assert np.array_equal(flipped, -levels)
 
     def test_quantize_rounds(self):
         quant = LLRQuantizer(QuantizationSpec(5, 0))
@@ -167,6 +337,10 @@ class TestQuantizer:
         quant = LLRQuantizer(QuantizationSpec(5, 0))
         out = quant.saturating_add(np.array([10]), np.array([10]))
         assert out.tolist() == [15]
+        out = quant.saturating_add(np.array([-10]), np.array([-10]))
+        assert out.tolist() == [-15]
+        asym = LLRQuantizer(QuantizationSpec(5, 0), symmetric=False)
+        assert asym.saturating_add(np.array([-10]), np.array([-10])).tolist() == [-16]
 
     def test_quantizer_requires_spec(self):
         with pytest.raises(ConfigurationError):

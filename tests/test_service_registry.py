@@ -34,6 +34,13 @@ class TestRegistry:
         assert entry.k_bits == 2 * 48
         assert entry.decides_info_bits
 
+    def test_resolves_wifi(self, registry):
+        entry = registry.resolve("wifi", 1944, "1/2")
+        assert entry.n_bits == 1944
+        assert entry.k_bits == 972
+        assert not entry.decides_info_bits
+        assert registry.resolve("wifi", 1944, "1/2") is entry  # cached
+
     def test_unknown_family(self, registry):
         with pytest.raises(UnknownCodecError, match="polar"):
             registry.resolve("polar", 1024, "1/2")
@@ -44,12 +51,20 @@ class TestRegistry:
         with pytest.raises(UnknownCodecError, match="turbo:48:7/8"):
             registry.resolve("turbo", 48, "7/8")
 
-    def test_advertised_specs_cover_both_families(self, registry):
+    def test_advertised_specs_cover_all_families(self, registry):
         specs = registry.specs()
         families = {spec.family for spec in specs}
-        assert families == {"ldpc", "turbo"}
+        assert families == {"ldpc", "wifi", "turbo"}
         assert CodecSpec("ldpc", 2304, "1/2") in specs
+        assert CodecSpec("wifi", 1944, "1/2") in specs
+        assert CodecSpec("wifi", 1944, "5/6") in specs
         assert CodecSpec("turbo", 48, "1/3") in specs
+
+    def test_wifi_rejects_non_advertised_parameters(self, registry):
+        with pytest.raises(UnknownCodecError, match="wifi:648:1/2"):
+            registry.resolve("wifi", 648, "1/2")
+        with pytest.raises(UnknownCodecError, match="wifi:1944:3/4"):
+            registry.resolve("wifi", 1944, "3/4")
 
     def test_spec_label_and_key(self):
         spec = CodecSpec("ldpc", 576, "2/3A")
