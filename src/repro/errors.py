@@ -71,3 +71,44 @@ class ServiceOverloadError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that is not running."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its decoded bits were delivered.
+
+    Raised (or resolved into the caller's future) whenever a per-request
+    deadline passes — while waiting for a queue slot, while queued for a
+    batch, or while the batch is decoding.  ``deadline_s`` is the budget the
+    caller asked for.
+    """
+
+    def __init__(self, message: str, deadline_s: float | None = None):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class RetryExhaustedError(ServiceError):
+    """Every decode attempt within the bounded retry budget failed.
+
+    ``attempts`` is how many dispatches were tried; ``__cause__`` carries the
+    last underlying failure (a crash, watchdog timeout or decode exception).
+    """
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class WorkerCrashError(ServiceError):
+    """A decode worker died mid-batch (or a fault plan simulated it doing so).
+
+    On the process path real crashes surface as
+    :class:`concurrent.futures.process.BrokenProcessPool`; this type is the
+    executor-agnostic equivalent the fault injector raises on thread and
+    inline paths so the same supervision logic can be exercised without
+    killing the host process.
+    """
+
+
+class InjectedFaultError(ServiceError):
+    """A fault plan asked the decode path to raise (the ``error`` fault kind)."""

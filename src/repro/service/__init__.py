@@ -5,24 +5,45 @@ per-frame decode requests from many concurrent clients aggregate into the
 large batches :mod:`repro.sim`'s engines were built for, under an explicit
 latency budget, with typed boundary validation, bounded queues with
 configurable backpressure, live metrics and an optional calibrated
-process-shard mode.  See ``docs/decode-service.md`` for the request
-lifecycle and policies, and ``python -m repro.service`` for a runnable
-demo.
+process-shard mode.  The resilience layer
+(:mod:`repro.service.resilience`) keeps the service serving through worker
+crashes, hangs and decode failures — supervised executor rebuilds, bounded
+retries, per-request deadlines, a calibrated hang watchdog and a circuit
+breaker that degrades to a slower but bit-correct path — and the
+deterministic fault-injection harness in :mod:`repro.faults` provokes every
+one of those failure modes on demand.  See ``docs/decode-service.md`` for
+the request lifecycle and policies, and ``python -m repro.service`` for a
+runnable demo (``--inject-faults`` for the chaos smoke).
 """
 
+from repro.faults import FaultAction, FaultInjector, FaultPlan
 from repro.service.batcher import DynamicBatcher, QueuedItem
 from repro.service.client import DecodeClient, ServiceThread
-from repro.service.metrics import LatencyReservoir, MetricsSnapshot, ServiceMetrics
+from repro.service.metrics import (
+    HealthSnapshot,
+    LatencyReservoir,
+    MetricsSnapshot,
+    ServiceMetrics,
+)
 from repro.service.registry import (
     CodecEntry,
     CodecRegistry,
     CodecSpec,
     default_registry,
 )
+from repro.service.resilience import (
+    CircuitBreaker,
+    DispatchResult,
+    ExponentialBackoff,
+    ResilienceConfig,
+    ResilientDispatcher,
+    SupervisedExecutor,
+)
 from repro.service.service import DecodeResponse, DecodeService
 from repro.service.sharding import DecodeCostModel, plan_shards
 
 __all__ = [
+    "CircuitBreaker",
     "CodecEntry",
     "CodecRegistry",
     "CodecSpec",
@@ -30,12 +51,21 @@ __all__ = [
     "DecodeCostModel",
     "DecodeResponse",
     "DecodeService",
+    "DispatchResult",
     "DynamicBatcher",
+    "ExponentialBackoff",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthSnapshot",
     "LatencyReservoir",
     "MetricsSnapshot",
     "QueuedItem",
+    "ResilienceConfig",
+    "ResilientDispatcher",
     "ServiceMetrics",
     "ServiceThread",
+    "SupervisedExecutor",
     "default_registry",
     "plan_shards",
 ]

@@ -14,21 +14,35 @@ Two entry styles cover both kinds of caller:
 
       with ServiceThread(max_batch=64, max_delay_s=0.002) as client:
           response = client.decode_sync(llrs, family="ldpc", block=576, rate="1/2")
+
+Timeouts are enforced *server-side*: ``decode_sync(timeout=...)`` wires the
+client's budget through to ``submit(deadline_s=...)``, so an expired
+request is resolved and accounted on the service — not silently abandoned
+in flight with the client merely walking away from the future.  And
+:meth:`ServiceThread.stop` is crash-safe: if the background loop died (an
+exception escaped a callback), ``stop`` does not block forever on a dead
+loop — it joins with a timeout and re-raises the captured loop error.
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import threading
 from typing import Any, Iterable
 
 import numpy as np
 
-from repro.errors import ServiceClosedError
-from repro.service.metrics import MetricsSnapshot
+from repro.errors import DeadlineExceededError, ServiceClosedError
+from repro.service.metrics import HealthSnapshot, MetricsSnapshot
 from repro.service.service import DecodeResponse, DecodeService
 
 __all__ = ["DecodeClient", "ServiceThread"]
+
+#: Extra slack ``decode_sync`` waits beyond the server-side deadline before
+#: assuming the bridge itself is broken.  The server resolves the request at
+#: the deadline; the slack only covers loop latency delivering that result.
+_SYNC_RESULT_GRACE_S = 5.0
 
 
 class DecodeClient:
@@ -46,9 +60,16 @@ class DecodeClient:
         family: str = "ldpc",
         block: int = 576,
         rate: str = "1/2",
+        deadline_s: float | None = None,
     ) -> DecodeResponse:
-        """Submit one frame and await its decoded bits."""
-        return await self.service.submit(llrs, family=family, block=block, rate=rate)
+        """Submit one frame and await its decoded bits.
+
+        ``deadline_s`` bounds the total wait; past it the request resolves
+        with :class:`~repro.errors.DeadlineExceededError`.
+        """
+        return await self.service.submit(
+            llrs, family=family, block=block, rate=rate, deadline_s=deadline_s
+        )
 
     async def decode_many(
         self,
@@ -56,12 +77,15 @@ class DecodeClient:
         family: str = "ldpc",
         block: int = 576,
         rate: str = "1/2",
+        deadline_s: float | None = None,
     ) -> list[DecodeResponse]:
         """Submit many frames concurrently and await all of them."""
         return list(
             await asyncio.gather(
                 *(
-                    self.decode(llrs, family=family, block=block, rate=rate)
+                    self.decode(
+                        llrs, family=family, block=block, rate=rate, deadline_s=deadline_s
+                    )
                     for llrs in frames
                 )
             )
@@ -79,6 +103,14 @@ class DecodeClient:
 
         Requires the client to be bound to the loop the service runs on
         (:class:`ServiceThread` hands out clients bound this way).
+
+        ``timeout`` becomes the request's *server-side* deadline: the
+        service resolves the request with
+        :class:`~repro.errors.DeadlineExceededError` when it expires, so
+        the in-flight work is accounted for instead of abandoned.  The
+        local wait allows a little grace beyond the deadline for the result
+        to cross the thread bridge; if even that elapses (a dead loop), the
+        in-flight call is cancelled and the same typed error is raised.
         """
         if self._loop is None or not self._loop.is_running():
             raise ServiceClosedError(
@@ -86,13 +118,30 @@ class DecodeClient:
                 "or the async decode() API"
             )
         future = asyncio.run_coroutine_threadsafe(
-            self.decode(llrs, family=family, block=block, rate=rate), self._loop
+            self.decode(
+                llrs, family=family, block=block, rate=rate, deadline_s=timeout
+            ),
+            self._loop,
         )
-        return future.result(timeout)
+        wait_s = None if timeout is None else timeout + _SYNC_RESULT_GRACE_S
+        try:
+            return future.result(wait_s)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise DeadlineExceededError(
+                f"no response within the {timeout:.4f} s deadline (plus "
+                f"{_SYNC_RESULT_GRACE_S:.0f} s bridge grace) — service loop "
+                "unresponsive",
+                deadline_s=timeout,
+            ) from None
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """The service's current metrics snapshot."""
         return self.service.metrics_snapshot()
+
+    def health_snapshot(self) -> HealthSnapshot:
+        """The service's current health snapshot (breaker state, decode path)."""
+        return self.service.health_snapshot()
 
 
 class ServiceThread:
@@ -101,6 +150,11 @@ class ServiceThread:
     Context-manager entry starts the loop thread and the service; exit
     drains, stops the service and joins the thread.  All constructor
     keyword arguments are forwarded to :class:`DecodeService`.
+
+    The loop thread is supervised: an exception that escapes a loop
+    callback (normally just logged by asyncio, leaving the loop a zombie)
+    is captured and stops the loop, and :meth:`stop` re-raises it instead
+    of deadlocking on a loop that will never answer.
     """
 
     def __init__(self, **service_kwargs: Any) -> None:
@@ -108,17 +162,31 @@ class ServiceThread:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
+        self._loop_error: BaseException | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def _on_loop_exception(self, loop: asyncio.AbstractEventLoop, context: dict) -> None:
+        """Capture a crash that escaped a callback and bring the loop down."""
+        exc = context.get("exception")
+        if exc is None:
+            exc = RuntimeError(context.get("message", "event loop callback failed"))
+        if self._loop_error is None:
+            self._loop_error = exc
+        loop.stop()
+
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
+        loop.set_exception_handler(self._on_loop_exception)
         self._loop = loop
         loop.call_soon(self._started.set)
         try:
             loop.run_forever()
+        except BaseException as exc:  # loop machinery itself failed
+            if self._loop_error is None:
+                self._loop_error = exc
         finally:
             loop.close()
 
@@ -134,17 +202,44 @@ class ServiceThread:
         asyncio.run_coroutine_threadsafe(self.service.start(), self._loop).result()
         return self.client()
 
-    def stop(self, drain: bool = True) -> None:
-        """Stop the service (draining by default), the loop and the thread."""
+    def stop(self, drain: bool = True, join_timeout_s: float = 10.0) -> None:
+        """Stop the service (draining by default), the loop and the thread.
+
+        Never hangs on a crashed loop: the stop coroutine and the thread
+        join are both bounded by ``join_timeout_s``, and a captured loop
+        crash is re-raised here so the failure surfaces in the foreground
+        thread instead of vanishing with the daemon.
+        """
         if self._thread is None:
             return
-        asyncio.run_coroutine_threadsafe(
-            self.service.stop(drain=drain), self._loop
-        ).result()
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join()
+        thread, loop = self._thread, self._loop
         self._thread = None
         self._loop = None
+        try:
+            if thread.is_alive() and loop.is_running():
+                try:
+                    asyncio.run_coroutine_threadsafe(
+                        self.service.stop(drain=drain), loop
+                    ).result(join_timeout_s)
+                except concurrent.futures.TimeoutError:
+                    pass  # the loop died mid-stop; fall through to the join
+                except RuntimeError:
+                    pass  # loop shut down between the check and the call
+                try:
+                    loop.call_soon_threadsafe(loop.stop)
+                except RuntimeError:
+                    pass  # already stopped/closed
+            thread.join(join_timeout_s)
+            if thread.is_alive():
+                raise ServiceClosedError(
+                    f"service loop thread failed to stop within {join_timeout_s:.1f} s"
+                )
+        finally:
+            error, self._loop_error = self._loop_error, None
+            if error is not None:
+                raise ServiceClosedError(
+                    "decode service background loop crashed"
+                ) from error
 
     def client(self) -> DecodeClient:
         """A client bound to the background loop (sync + async APIs)."""

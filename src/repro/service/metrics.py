@@ -1,4 +1,5 @@
-"""Live decode-service metrics: queue depth, batch sizes, latency, throughput.
+"""Live decode-service metrics: queue depth, batch sizes, latency, throughput,
+and the resilience layer's retry/breaker/deadline/degraded counters.
 
 The service updates one :class:`ServiceMetrics` instance from the event-loop
 thread only (decode executors report back through loop callbacks), so the
@@ -6,10 +7,17 @@ counters need no locks.  :meth:`ServiceMetrics.snapshot` freezes the current
 state into an immutable :class:`MetricsSnapshot` — the service's public
 observability surface, safe to hand across threads and trivially
 JSON-serialisable via :meth:`MetricsSnapshot.as_dict`.
+:meth:`ServiceMetrics.health` distils the resilience-relevant subset into a
+:class:`HealthSnapshot` — what a load balancer's health check would read.
 
 Latency percentiles come from bounded reservoirs of the most recent
 completions (default 4096), so a long-lived service reports *current*
 latency behaviour instead of an all-time average diluted by history.
+
+Request accounting is conservation-shaped: every admitted request ends in
+exactly one of ``completed``, ``failed``, ``deadline_exceeded`` or
+``cancelled``, and ``in_flight`` returns to zero when the service drains —
+the chaos suite asserts this invariant under every fault plan it draws.
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyReservoir", "MetricsSnapshot", "ServiceMetrics"]
+__all__ = [
+    "HealthSnapshot",
+    "LatencyReservoir",
+    "MetricsSnapshot",
+    "ServiceMetrics",
+]
 
 
 class LatencyReservoir:
@@ -50,6 +63,8 @@ class MetricsSnapshot:
 
     Latency fields are in seconds over the recent-completions window;
     ``throughput_fps`` is completed frames per second of service uptime.
+    The resilience block (``retries`` .. ``breaker_state``) is zero /
+    ``"disabled"`` on a service that never saw a fault.
     """
 
     submitted: int
@@ -67,6 +82,18 @@ class MetricsSnapshot:
     total_p99_s: float
     throughput_fps: float
     uptime_s: float
+    # Resilience layer
+    failed: int
+    cancelled: int
+    deadline_exceeded: int
+    retries: int
+    pool_rebuilds: int
+    watchdog_timeouts: int
+    breaker_opens: int
+    degraded_batches: int
+    degraded_s: float
+    faults_injected: int
+    breaker_state: str
 
     def as_dict(self) -> dict:
         """JSON-friendly dict (histogram keys become strings)."""
@@ -88,10 +115,21 @@ class MetricsSnapshot:
             "total_p99_s": self.total_p99_s,
             "throughput_fps": self.throughput_fps,
             "uptime_s": self.uptime_s,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "deadline_exceeded": self.deadline_exceeded,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "breaker_opens": self.breaker_opens,
+            "degraded_batches": self.degraded_batches,
+            "degraded_s": self.degraded_s,
+            "faults_injected": self.faults_injected,
+            "breaker_state": self.breaker_state,
         }
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.completed}/{self.submitted} frames decoded "
             f"({self.rejected} rejected), {self.batch_count} batches "
             f"(mean size {self.mean_batch_size:.1f}), "
@@ -101,6 +139,70 @@ class MetricsSnapshot:
             f"{1e3 * self.queue_p99_s:.2f} ms), "
             f"{self.throughput_fps:.0f} frames/s over {self.uptime_s:.2f} s"
         )
+        incidents = (
+            self.failed
+            + self.deadline_exceeded
+            + self.cancelled
+            + self.retries
+            + self.pool_rebuilds
+        )
+        if incidents or self.faults_injected:
+            text += (
+                f"; resilience: {self.retries} retries, "
+                f"{self.pool_rebuilds} rebuilds, "
+                f"{self.watchdog_timeouts} watchdog timeouts, "
+                f"{self.deadline_exceeded} deadline-expired, "
+                f"{self.failed} failed, {self.cancelled} cancelled, "
+                f"breaker {self.breaker_state} "
+                f"({self.breaker_opens} opens, {self.degraded_batches} degraded "
+                f"batches), {self.faults_injected} faults injected"
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """The resilience-relevant health surface — a load balancer's view.
+
+    ``healthy`` means the service is running with its breaker not open
+    (half-open counts as healthy: probes are in flight).  ``decode_path``
+    is where the *next* batch would run (e.g. ``"process"`` or
+    ``"degraded:thread"``).
+    """
+
+    healthy: bool
+    running: bool
+    breaker_state: str
+    decode_path: str
+    consecutive_failures: int
+    in_flight: int
+    retries: int
+    pool_rebuilds: int
+    watchdog_timeouts: int
+    deadline_exceeded: int
+    degraded_batches: int
+    degraded_s: float
+    faults_injected: int
+    uptime_s: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dict."""
+        return {
+            "healthy": self.healthy,
+            "running": self.running,
+            "breaker_state": self.breaker_state,
+            "decode_path": self.decode_path,
+            "consecutive_failures": self.consecutive_failures,
+            "in_flight": self.in_flight,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded_batches": self.degraded_batches,
+            "degraded_s": self.degraded_s,
+            "faults_injected": self.faults_injected,
+            "uptime_s": self.uptime_s,
+        }
 
 
 @dataclass
@@ -118,6 +220,17 @@ class ServiceMetrics:
     queue_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     total_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     started_at: float = field(default_factory=time.perf_counter)
+    # Resilience layer
+    failed: int = 0
+    cancelled: int = 0
+    deadline_exceeded: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    watchdog_timeouts: int = 0
+    breaker_opens: int = 0
+    degraded_batches: int = 0
+    degraded_s: float = 0.0
+    faults_injected: int = 0
 
     def record_batch(self, size: int) -> None:
         """Account one dispatched batch of ``size`` frames."""
@@ -131,7 +244,9 @@ class ServiceMetrics:
         self.queue_latency.record(queued_s)
         self.total_latency.record(total_s)
 
-    def snapshot(self, queue_depths: dict[str, int]) -> MetricsSnapshot:
+    def snapshot(
+        self, queue_depths: dict[str, int], breaker_state: str = "disabled"
+    ) -> MetricsSnapshot:
         """Freeze the counters (plus the caller-supplied live queue depths)."""
         uptime = max(time.perf_counter() - self.started_at, 1e-9)
         q50, q99 = self.queue_latency.percentiles()
@@ -154,4 +269,40 @@ class ServiceMetrics:
             total_p99_s=t99,
             throughput_fps=self.completed / uptime,
             uptime_s=uptime,
+            failed=self.failed,
+            cancelled=self.cancelled,
+            deadline_exceeded=self.deadline_exceeded,
+            retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
+            watchdog_timeouts=self.watchdog_timeouts,
+            breaker_opens=self.breaker_opens,
+            degraded_batches=self.degraded_batches,
+            degraded_s=self.degraded_s,
+            faults_injected=self.faults_injected,
+            breaker_state=breaker_state,
+        )
+
+    def health(
+        self,
+        running: bool,
+        breaker_state: str,
+        decode_path: str,
+        consecutive_failures: int,
+    ) -> HealthSnapshot:
+        """Freeze the resilience-relevant subset into a :class:`HealthSnapshot`."""
+        return HealthSnapshot(
+            healthy=running and breaker_state != "open",
+            running=running,
+            breaker_state=breaker_state,
+            decode_path=decode_path,
+            consecutive_failures=consecutive_failures,
+            in_flight=self.in_flight,
+            retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
+            watchdog_timeouts=self.watchdog_timeouts,
+            deadline_exceeded=self.deadline_exceeded,
+            degraded_batches=self.degraded_batches,
+            degraded_s=self.degraded_s,
+            faults_injected=self.faults_injected,
+            uptime_s=max(time.perf_counter() - self.started_at, 1e-9),
         )

@@ -12,16 +12,24 @@ built for:
   per-codec :class:`~repro.service.batcher.DynamicBatcher` and flush on
   *batch-full or deadline, whichever first* — the deadline is the service's
   configurable latency budget;
-* each flushed batch is stacked into one ``(B, n)`` array and dispatched to
-  the codec's :class:`~repro.sim.batch.BatchDecoder` on an executor (an
-  in-process worker thread by default, a process-shard pool when the
-  calibration-driven planner says sharding pays — see
-  :mod:`repro.service.sharding`);
+* each flushed batch is stacked into one ``(B, n)`` array and dispatched
+  through the :class:`~repro.service.resilience.ResilientDispatcher`, which
+  owns the executors (an in-process worker thread by default, a process-
+  shard pool when the calibration-driven planner says sharding pays — see
+  :mod:`repro.service.sharding`) and survives their failures: dead pools
+  are rebuilt with capped backoff and the batch re-dispatched (decode is
+  pure, so retry is idempotent), wedged batches are timed out by a
+  calibrated hang watchdog, and a circuit breaker degrades to a slower but
+  bit-correct fallback path after repeated primary-path failures;
 * every caller's future resolves with its own decoded bits, iteration
-  count, convergence flag and a queue/decode latency breakdown.  Results
-  are bit-identical to a direct ``decode_batch`` call on the same LLRs
-  because the engines are row-independent (pinned by the batch=1 facade
-  property tests and again by ``tests/test_service.py``).
+  count, convergence flag and a queue/decode latency breakdown — or a typed
+  error: requests carry optional *deadlines*
+  (``submit(..., deadline_s=...)``) enforced while waiting for a queue
+  slot, while queued and while decoding, so no caller ever hangs on a
+  wedged service.  Results are bit-identical to a direct ``decode_batch``
+  call on the same LLRs because the engines are row-independent (pinned by
+  the batch=1 facade property tests and again by ``tests/test_service.py``
+  and the chaos suite in ``tests/test_service_resilience.py``).
 
 Backpressure is explicit and configurable: ``backpressure="wait"`` makes
 ``submit`` await a queue slot; ``backpressure="reject"`` raises
@@ -36,22 +44,25 @@ hand results back through the loop, so no locks are needed anywhere.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     RequestValidationError,
     ServiceClosedError,
     ServiceOverloadError,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.service.batcher import DynamicBatcher, QueuedItem
-from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.metrics import HealthSnapshot, MetricsSnapshot, ServiceMetrics
 from repro.service.registry import CodecEntry, CodecRegistry, default_registry
-from repro.service.sharding import DecodeCostModel, decode_in_worker, plan_shards
+from repro.service.resilience import ResilienceConfig, ResilientDispatcher
+from repro.service.sharding import DecodeCostModel, plan_shards
+from repro.utils.calibration import watchdog_timeout_s
 
 __all__ = ["DecodeResponse", "DecodeService"]
 
@@ -66,7 +77,10 @@ class DecodeResponse:
     ``bits`` are the decoder's hard decisions — whole codeword for LDPC,
     information bits for turbo (``decides_info_bits`` says which).  The
     latency breakdown separates time spent queued (waiting for the batch to
-    fill or the deadline to strike) from time spent decoding.
+    fill or the deadline to strike) from time spent decoding.  ``attempts``
+    and ``decode_path`` report how the resilience layer earned the result:
+    ``attempts > 1`` means transparent retries happened, and a
+    ``"degraded:*"`` path means the circuit breaker was open.
     """
 
     request_id: int
@@ -79,15 +93,25 @@ class DecodeResponse:
     queued_s: float
     decode_s: float
     total_s: float
+    attempts: int = 1
+    decode_path: str = "thread"
 
 
 @dataclass
 class _PendingRequest:
-    """One queued request: payload plus the future its caller awaits."""
+    """One queued request: payload, the future its caller awaits, its deadline.
+
+    ``finished`` guards the request's *single* accounting event — whichever
+    of the deadline timer, the dispatch filter, the batch completion or the
+    shutdown sweep gets there first wins, and everyone else no-ops.
+    """
 
     request_id: int
     llrs: np.ndarray
     future: asyncio.Future
+    deadline_s: float | None = None
+    timer: asyncio.TimerHandle | None = None
+    finished: bool = field(default=False)
 
 
 @dataclass
@@ -97,14 +121,6 @@ class _CodecLane:
     entry: CodecEntry
     batcher: DynamicBatcher[_PendingRequest]
     slots: asyncio.Semaphore | None  # wait-mode queue bound (None in reject mode)
-
-
-def _decode_to_arrays(
-    entry: CodecEntry, llrs: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Thread/inline decode path, normalised to the process-worker signature."""
-    result = entry.decoder.decode_batch(llrs)
-    return result.hard_bits, result.iterations, result.converged
 
 
 class DecodeService:
@@ -141,6 +157,19 @@ class DecodeService:
         rate 1/2.
     offered_fps_hint:
         Expected offered load in frames/sec, consumed by ``shards="auto"``.
+    resilience:
+        :class:`~repro.service.resilience.ResilienceConfig` governing retry
+        budget, rebuild backoff and the circuit breaker; defaults when
+        omitted.
+    watchdog_s:
+        Hang-watchdog timeout per decode attempt: a float in seconds,
+        ``"auto"`` to derive one from the ``probe_codec``'s calibrated
+        decode-cost curve (:func:`repro.utils.calibration.watchdog_timeout_s`),
+        or ``None`` (default) to disable the watchdog.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injected into the
+        dispatch path — the deterministic chaos hook used by the resilience
+        tests and ``python -m repro.service --inject-faults``.
     """
 
     def __init__(
@@ -154,6 +183,9 @@ class DecodeService:
         shards: int | str = 0,
         offered_fps_hint: float | None = None,
         probe_codec: tuple[str, int, str] = ("ldpc", 576, "1/2"),
+        resilience: ResilienceConfig | None = None,
+        watchdog_s: float | str | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if backpressure not in _BACKPRESSURE_MODES:
             raise ConfigurationError(
@@ -172,6 +204,13 @@ class DecodeService:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
+        if isinstance(watchdog_s, str):
+            if watchdog_s != "auto":
+                raise ConfigurationError(
+                    f"watchdog_s must be a float, 'auto' or None, got {watchdog_s!r}"
+                )
+        elif watchdog_s is not None and watchdog_s <= 0.0:
+            raise ConfigurationError(f"watchdog_s must be > 0, got {watchdog_s}")
         self.registry = registry if registry is not None else default_registry()
         self.max_batch = int(max_batch)  # DynamicBatcher validates >= 1
         self.max_delay_s = float(max_delay_s)
@@ -181,11 +220,16 @@ class DecodeService:
         self.shards = shards
         self.offered_fps_hint = offered_fps_hint
         self.probe_codec = probe_codec
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.watchdog_s = watchdog_s
+        self.fault_plan = fault_plan
         #: Shard count the planner actually resolved to (set by ``start``).
         self.planned_shards: int = 0
+        #: Watchdog timeout ``start`` resolved to (float seconds or None).
+        self.resolved_watchdog_s: float | None = None
         self.metrics = ServiceMetrics()
         self._lanes: dict[tuple[str, int, str], _CodecLane] = {}
-        self._executor: Executor | None = None
+        self._dispatcher: ResilientDispatcher | None = None
         self._flusher: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
         self._wake: asyncio.Event | None = None
@@ -201,9 +245,11 @@ class DecodeService:
             return
         mode = self.executor_mode
         shards = self.shards
-        if shards == "auto":
+        model: DecodeCostModel | None = None
+        if shards == "auto" or self.watchdog_s == "auto":
             family, block, rate = self.probe_codec
             model = DecodeCostModel.calibrate(self.registry.resolve(family, block, rate))
+        if shards == "auto":
             shards = plan_shards(
                 model, self.offered_fps_hint or 0.0, self.max_batch
             )
@@ -211,22 +257,34 @@ class DecodeService:
         if mode == "process" and not shards:
             raise ConfigurationError("executor='process' needs shards >= 1 or 'auto'")
         self.planned_shards = int(shards) if mode == "process" else 0
-        if mode == "thread":
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="decode-service"
-            )
-        elif mode == "process":
-            self._executor = ProcessPoolExecutor(max_workers=self.planned_shards)
-        else:  # inline
-            self._executor = None
+        if self.watchdog_s == "auto":
+            self.resolved_watchdog_s = watchdog_timeout_s(model.curve, self.max_batch)
+        else:
+            self.resolved_watchdog_s = self.watchdog_s
         self.executor_mode = mode
         self.metrics = ServiceMetrics()
+        self._dispatcher = ResilientDispatcher(
+            mode=mode,
+            shards=self.planned_shards,
+            config=self.resilience,
+            metrics=self.metrics,
+            watchdog_s=self.resolved_watchdog_s,
+            injector=(
+                FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+            ),
+        )
         self._wake = asyncio.Event()
         self._running = True
         self._flusher = asyncio.create_task(self._flush_loop())
 
-    async def stop(self, drain: bool = True) -> None:
-        """Stop the service; by default drain queued and in-flight work first."""
+    async def stop(self, drain: bool = True, drain_timeout_s: float | None = None) -> None:
+        """Stop the service; by default drain queued and in-flight work first.
+
+        ``drain_timeout_s`` bounds the drain: once it elapses, still-running
+        batches are cancelled and their callers resolved with
+        :class:`~repro.errors.ServiceClosedError` instead of blocking
+        shutdown forever behind a wedged executor.
+        """
         if not self._running:
             return
         self._running = False  # new submits now raise ServiceClosedError
@@ -241,18 +299,35 @@ class DecodeService:
             except asyncio.CancelledError:
                 pass
             self._flusher = None
+        drained_clean = True
         if drain and self._inflight:
+            waiter = asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+            if drain_timeout_s is None:
+                await waiter
+            else:
+                try:
+                    await asyncio.wait_for(waiter, drain_timeout_s)
+                except asyncio.TimeoutError:  # noqa: UP041 — py3.10 spells it this way
+                    # wait_for cancelled the gather, which cancelled the
+                    # in-flight batch tasks; their cleanup resolves every
+                    # caller with ServiceClosedError.
+                    drained_clean = False
+        # Anything still queued (drain=False) or still unresolved is failed
+        # out now — no caller is ever left hanging across stop().
+        for task in tuple(self._inflight):
+            task.cancel()
+        if self._inflight:
             await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
         for lane in self._lanes.values():
             for batch in lane.batcher.flush_all():
                 for item in batch:
-                    if not item.payload.future.done():
-                        item.payload.future.set_exception(
-                            ServiceClosedError("service stopped before decoding")
-                        )
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+                    self._finish(
+                        item.payload,
+                        error=ServiceClosedError("service stopped before decoding"),
+                    )
+        if self._dispatcher is not None:
+            self._dispatcher.shutdown(wait=drain and drained_clean)
+            self._dispatcher = None
 
     async def __aenter__(self) -> "DecodeService":
         await self.start()
@@ -270,29 +345,55 @@ class DecodeService:
         family: str = "ldpc",
         block: int = 576,
         rate: str = "1/2",
+        deadline_s: float | None = None,
     ) -> DecodeResponse:
         """Decode one frame; resolves when its batch has been decoded.
 
+        ``deadline_s`` bounds the caller's total wait (slot acquisition +
+        queueing + decode): once it elapses the request resolves with
+        :class:`~repro.errors.DeadlineExceededError` even if its batch is
+        still wedged in an executor.
+
         Raises :class:`~repro.errors.UnknownCodecError`,
         :class:`~repro.errors.RequestValidationError`,
-        :class:`~repro.errors.ServiceOverloadError` (reject mode) or
+        :class:`~repro.errors.ServiceOverloadError` (reject mode),
+        :class:`~repro.errors.DeadlineExceededError` or
         :class:`~repro.errors.ServiceClosedError`.
         """
         if not self._running:
             raise ServiceClosedError("decode service is not running; call start()")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise RequestValidationError(
+                f"deadline_s must be > 0 (or None), got {deadline_s}"
+            )
         entry = self.registry.resolve(family, block, rate)
         arr = self._validate_llrs(llrs, entry)
         lane = self._lane(entry)
+        loop = asyncio.get_running_loop()
+        deadline_at = None if deadline_s is None else loop.time() + deadline_s
         if lane.slots is not None:  # wait mode: block until a queue slot frees
-            await lane.slots.acquire()
+            if deadline_at is None:
+                await lane.slots.acquire()
+            else:
+                try:
+                    await asyncio.wait_for(
+                        lane.slots.acquire(), deadline_at - loop.time()
+                    )
+                except asyncio.TimeoutError:  # noqa: UP041 — py3.10 spells it this way
+                    self.metrics.deadline_exceeded += 1
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline_s:.4f} s expired while waiting "
+                        f"for a {entry.spec.label} queue slot",
+                        deadline_s=deadline_s,
+                    ) from None
             if not self._running:
                 lane.slots.release()
                 raise ServiceClosedError("service stopped while awaiting a slot")
-        loop = asyncio.get_running_loop()
         request = _PendingRequest(
             request_id=self._next_request_id,
             llrs=arr,
             future=loop.create_future(),
+            deadline_s=deadline_s,
         )
         self._next_request_id += 1
         now = loop.time()
@@ -309,6 +410,12 @@ class DecodeService:
             )
         self.metrics.submitted += 1
         self.metrics.in_flight += 1
+        if deadline_at is not None:
+            # The deadline is enforced wherever the request happens to be —
+            # queued, mid-decode, or wedged — by resolving its future here.
+            request.timer = loop.call_later(
+                max(deadline_at - now, 0.0), self._expire, request
+            )
         if flushed:
             self._dispatch(lane, flushed)
         else:
@@ -358,6 +465,61 @@ class DecodeService:
         return arr
 
     # ------------------------------------------------------------------ #
+    # Request accounting
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self,
+        request: _PendingRequest,
+        response: DecodeResponse | None = None,
+        error: Exception | None = None,
+        queued_s: float | None = None,
+        total_s: float | None = None,
+    ) -> bool:
+        """Resolve one request exactly once and settle its accounting.
+
+        Every admitted request passes through here exactly once — from the
+        deadline timer, the dispatch filter, batch completion or the stop()
+        sweep — so ``in_flight`` is decremented once and each request lands
+        in exactly one of completed / failed / deadline_exceeded /
+        cancelled.  Returns ``False`` when the request was already settled.
+        """
+        if request.finished:
+            return False
+        request.finished = True
+        if request.timer is not None:
+            request.timer.cancel()
+            request.timer = None
+        self.metrics.in_flight -= 1
+        future = request.future
+        if future.cancelled():
+            self.metrics.cancelled += 1
+            return True
+        if error is not None:
+            if isinstance(error, DeadlineExceededError):
+                self.metrics.deadline_exceeded += 1
+            else:
+                self.metrics.failed += 1
+            if not future.done():
+                future.set_exception(error)
+            return True
+        if not future.done():
+            future.set_result(response)
+        self.metrics.record_completion(queued_s or 0.0, total_s or 0.0)
+        return True
+
+    def _expire(self, request: _PendingRequest) -> None:
+        """Deadline timer callback: resolve the request with a typed error."""
+        request.timer = None
+        self._finish(
+            request,
+            error=DeadlineExceededError(
+                f"deadline of {request.deadline_s:.4f} s expired before the "
+                "decode completed",
+                deadline_s=request.deadline_s,
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
     # Flushing and dispatch
     # ------------------------------------------------------------------ #
     async def _flush_loop(self) -> None:
@@ -389,13 +551,24 @@ class DecodeService:
                     self._dispatch(lane, batch)
 
     def _dispatch(self, lane: _CodecLane, batch: list[QueuedItem[_PendingRequest]]) -> None:
-        """Send one flushed batch to the executor; resolve futures when done."""
+        """Send one flushed batch to the dispatcher; resolve futures when done."""
         if lane.slots is not None:
             for _ in batch:  # items left the queue: open their slots
                 lane.slots.release()
-        self.metrics.record_batch(len(batch))
-        stacked = np.stack([item.payload.llrs for item in batch])
-        task = asyncio.create_task(self._run_batch(lane, batch, stacked))
+        live: list[QueuedItem[_PendingRequest]] = []
+        for item in batch:
+            request = item.payload
+            if request.finished:  # expired in queue: already resolved, skip decode
+                continue
+            if request.future.cancelled():  # caller gave up while queued
+                self._finish(request)
+                continue
+            live.append(item)
+        if not live:
+            return
+        self.metrics.record_batch(len(live))
+        stacked = np.stack([item.payload.llrs for item in live])
+        task = asyncio.create_task(self._run_batch(lane, live, stacked))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
@@ -408,43 +581,50 @@ class DecodeService:
         loop = asyncio.get_running_loop()
         dispatched_at = loop.time()
         try:
-            if self._executor is None:  # inline
-                hard, iterations, converged = _decode_to_arrays(lane.entry, stacked)
-            elif isinstance(self._executor, ProcessPoolExecutor):
-                hard, iterations, converged = await loop.run_in_executor(
-                    self._executor, decode_in_worker, lane.entry.spec.key, stacked
+            try:
+                outcome = await self._dispatcher.run(lane.entry, stacked)
+            except asyncio.CancelledError:
+                raise  # the finally block resolves the batch's callers
+            except Exception as exc:  # retry budget exhausted: fan out to callers
+                for item in batch:
+                    self._finish(item.payload, error=exc)
+                return
+            done_at = loop.time()
+            decode_s = done_at - dispatched_at
+            for index, item in enumerate(batch):
+                request = item.payload
+                queued_s = dispatched_at - item.enqueued_at
+                response = DecodeResponse(
+                    request_id=request.request_id,
+                    codec=lane.entry.spec.label,
+                    bits=outcome.hard_bits[index].copy(),
+                    iterations=int(outcome.iterations[index]),
+                    converged=bool(outcome.converged[index]),
+                    decides_info_bits=lane.entry.decides_info_bits,
+                    batch_size=len(batch),
+                    queued_s=queued_s,
+                    decode_s=decode_s,
+                    total_s=done_at - item.enqueued_at,
+                    attempts=outcome.attempts,
+                    decode_path=outcome.path,
                 )
-            else:
-                hard, iterations, converged = await loop.run_in_executor(
-                    self._executor, _decode_to_arrays, lane.entry, stacked
+                self._finish(
+                    request,
+                    response=response,
+                    queued_s=queued_s,
+                    total_s=response.total_s,
                 )
-        except Exception as exc:  # decoder/executor failure fans out to callers
+        finally:
+            # Reached on cancellation (bounded drain) and on any unexpected
+            # exit: nobody in this batch is ever left with a hung future.
             for item in batch:
-                if not item.payload.future.done():
-                    item.payload.future.set_exception(exc)
-                self.metrics.in_flight -= 1
-            return
-        done_at = loop.time()
-        decode_s = done_at - dispatched_at
-        for index, item in enumerate(batch):
-            request = item.payload
-            queued_s = dispatched_at - item.enqueued_at
-            response = DecodeResponse(
-                request_id=request.request_id,
-                codec=lane.entry.spec.label,
-                bits=hard[index].copy(),
-                iterations=int(iterations[index]),
-                converged=bool(converged[index]),
-                decides_info_bits=lane.entry.decides_info_bits,
-                batch_size=len(batch),
-                queued_s=queued_s,
-                decode_s=decode_s,
-                total_s=done_at - item.enqueued_at,
-            )
-            if not request.future.done():
-                request.future.set_result(response)
-            self.metrics.record_completion(queued_s, response.total_s)
-            self.metrics.in_flight -= 1
+                if not item.payload.finished:
+                    self._finish(
+                        item.payload,
+                        error=ServiceClosedError(
+                            "service stopped while the batch was in flight"
+                        ),
+                    )
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -454,4 +634,29 @@ class DecodeService:
         depths = {
             lane.entry.spec.label: lane.batcher.depth for lane in self._lanes.values()
         }
-        return self.metrics.snapshot(depths)
+        breaker_state = (
+            self._dispatcher.breaker_state() if self._dispatcher is not None
+            else "disabled"
+        )
+        return self.metrics.snapshot(depths, breaker_state)
+
+    def health_snapshot(self) -> HealthSnapshot:
+        """The resilience-relevant health surface (breaker, path, incident counts)."""
+        dispatcher = self._dispatcher
+        if dispatcher is None:
+            return self.metrics.health(
+                running=False,
+                breaker_state="disabled",
+                decode_path="none",
+                consecutive_failures=0,
+            )
+        return self.metrics.health(
+            running=self._running,
+            breaker_state=dispatcher.breaker_state(),
+            decode_path=dispatcher.current_path(),
+            consecutive_failures=(
+                dispatcher.breaker.consecutive_failures
+                if dispatcher.breaker is not None
+                else 0
+            ),
+        )

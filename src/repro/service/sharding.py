@@ -91,16 +91,23 @@ class DecodeCostModel:
         Random LLRs are the *conservative* probe: nothing early-exits, so
         every probed batch pays the full iteration budget and the fitted
         curve upper-bounds real traffic (which converges and exits early).
+
+        Measured times are clamped isotonic (running max over increasing
+        batch size): decoding a superset of frames cannot truly be cheaper,
+        so an inversion is host timing noise, and a monotone curve keeps
+        :func:`plan_shards` and the dispatch watchdog stable on noisy hosts.
         """
         rng = np.random.default_rng(seed)
         probe = rng.normal(0.0, 2.0, size=(max(sizes), entry.n_bits))
         decoder = entry.decoder
         decoder.decode_batch(probe[:1])  # warm any lazy state
-        samples = tuple(
-            (size, best_time(lambda size=size: decoder.decode_batch(probe[:size])))
-            for size in sorted(sizes)
-        )
-        return cls(spec=entry.spec, curve=PiecewiseLinearCost(samples))
+        samples = []
+        floor = 0.0
+        for size in sorted(sizes):
+            measured = best_time(lambda size=size: decoder.decode_batch(probe[:size]))
+            floor = max(floor, measured)
+            samples.append((size, floor))
+        return cls(spec=entry.spec, curve=PiecewiseLinearCost(tuple(samples)))
 
     def saturation_fps(self, max_batch: int) -> float:
         """In-process decode ceiling at the service's batch cap, frames/sec."""

@@ -17,6 +17,9 @@ processes.  Both decisions rest on the same machinery, extracted here:
   amortizing),
 * :func:`pool_amortizes` — the spin-up rule: never pay for a process pool
   when the projected serial time undercuts the pool's own startup cost.
+* :func:`watchdog_timeout_s` — turn a calibrated cost curve into a hang
+  watchdog: a batch that takes a large multiple of its *measured* decode
+  cost is wedged, not slow, and should be timed out and re-dispatched.
 """
 
 from __future__ import annotations
@@ -29,9 +32,12 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "POOL_SPINUP_S",
+    "WATCHDOG_FLOOR_S",
+    "WATCHDOG_MARGIN",
     "PiecewiseLinearCost",
     "best_time",
     "pool_amortizes",
+    "watchdog_timeout_s",
 ]
 
 #: Order-of-magnitude cost of spinning up a process pool and pickling the
@@ -100,3 +106,30 @@ def pool_amortizes(
 ) -> bool:
     """Whether a process pool is worth spinning up for this much serial work."""
     return projected_serial_s >= spinup_s
+
+
+#: Watchdog margin over the calibrated decode cost.  Decode cost varies with
+#: channel quality (early exits) and host load by small factors; a batch
+#: exceeding this multiple of its measured worst-case cost is wedged.
+WATCHDOG_MARGIN = 25.0
+
+#: Watchdog floor: never time a batch out faster than this, whatever the
+#: curve says — sub-second timers just race the OS scheduler.
+WATCHDOG_FLOOR_S = 0.5
+
+
+def watchdog_timeout_s(
+    curve: PiecewiseLinearCost,
+    size: int,
+    margin: float = WATCHDOG_MARGIN,
+    floor_s: float = WATCHDOG_FLOOR_S,
+) -> float:
+    """Hang-watchdog timeout for a batch of ``size`` items on this cost curve.
+
+    The calibration probes use random (never-converging) LLRs, so
+    ``curve.cost(size)`` already upper-bounds real traffic; ``margin``
+    covers host jitter and executor queueing on top of that.
+    """
+    if margin <= 0.0:
+        raise ConfigurationError(f"watchdog margin must be > 0, got {margin}")
+    return max(floor_s, margin * curve.cost(size))
