@@ -1,0 +1,264 @@
+"""Pluggable array-backend layer: one kernel surface, many array libraries.
+
+The hot kernels (LDPC check-node updates, BatchBCJR recursions, NoC scalar
+fallbacks) are written against an *array namespace* ``xp`` instead of a
+hard-coded ``numpy`` import, dgl-style.  This package is the registry that
+names those namespaces and the selection machinery that picks one per run:
+
+* :func:`use` — ``repro.backend.use("numpy")`` selects a backend for the
+  process (or, used as a context manager, for a ``with`` block);
+* the ``REPRO_BACKEND`` environment variable — consulted whenever no
+  explicit :func:`use` selection is in force;
+* per-call overrides — the batch engines accept ``backend=`` arguments
+  resolved through :func:`resolve`, so one decoder can run on a GPU
+  backend while the rest of the process stays on NumPy.
+
+Registered backends: ``numpy`` (always available, the reference), ``numba``
+(NumPy tensors + JIT-compiled scalar fallbacks), ``cupy`` and ``torch``
+(GPU tensor namespaces).  Only NumPy is required; the optional three raise
+:class:`~repro.errors.BackendUnavailableError` when their package is not
+installed, and every consumer of this API (tests, benchmarks, the
+``python -m repro.backend`` CLI) treats that as "skip", never "fail".
+
+Guarantees per backend are documented in ``docs/backends.md`` and enforced
+by ``tests/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.errors import BackendUnavailableError, ConfigurationError
+
+__all__ = [
+    "ArrayBackend",
+    "BackendLike",
+    "active",
+    "available",
+    "backend",
+    "names",
+    "resolve",
+    "use",
+    "xp",
+]
+
+#: Anything :func:`resolve` accepts: a registry name, a constructed backend,
+#: or ``None`` for "whatever is active".
+BackendLike = Union[str, ArrayBackend, None]
+
+
+# --------------------------------------------------------------------------- #
+# Factories — one per registered name.  Each either returns a constructed
+# ArrayBackend or raises BackendUnavailableError naming the missing package.
+# --------------------------------------------------------------------------- #
+def _build_numpy() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        version=np.__version__,
+        reduceat_min=np.minimum.reduceat,
+        reduceat_add=np.add.reduceat,
+    )
+
+
+def _build_numba() -> ArrayBackend:
+    try:
+        import numba
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "backend 'numba' requires the optional 'numba' package "
+            "(pip install numba); tensor kernels would run on NumPy either "
+            "way — numba only accelerates the scalar fallbacks"
+        ) from exc
+    # Tensor kernels run on plain NumPy; jit=True routes the NoC scalar
+    # fallbacks through their compiled variants (repro.backend.jit).
+    return ArrayBackend(
+        name="numba",
+        xp=np,
+        version=numba.__version__,
+        jit=True,
+        reduceat_min=np.minimum.reduceat,
+        reduceat_add=np.add.reduceat,
+    )
+
+
+def _build_cupy() -> ArrayBackend:
+    try:
+        import cupy
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "backend 'cupy' requires the optional 'cupy' package "
+            "(pip install cupy-cuda12x or the wheel matching your CUDA)"
+        ) from exc
+    try:
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            raise RuntimeError("no CUDA device")
+    except Exception as exc:
+        raise BackendUnavailableError(
+            "backend 'cupy' is installed but no usable CUDA device was found"
+        ) from exc
+    # cupy has no ufunc.reduceat, so segment kernels fall back to the dense
+    # per-degree-group path (supports_segments is False).
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        version=cupy.__version__,
+        device="cuda",
+        exact=False,
+        _to_numpy=cupy.asnumpy,
+    )
+
+
+def _build_torch() -> ArrayBackend:
+    try:
+        import torch
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "backend 'torch' requires the optional 'torch' package "
+            "(pip install torch)"
+        ) from exc
+    from repro.backend.torch_adapter import TorchNamespace
+
+    device = "cuda" if torch.cuda.is_available() else "cpu"
+    return ArrayBackend(
+        name="torch",
+        xp=TorchNamespace(torch, device),
+        version=torch.__version__,
+        device=device,
+        exact=False,
+        _to_numpy=lambda t: t.detach().cpu().numpy(),
+    )
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _build_numpy,
+    "numba": _build_numba,
+    "cupy": _build_cupy,
+    "torch": _build_torch,
+}
+
+#: Constructed backends, cached per name.  Failures are *not* cached — a
+#: package installed mid-process (e.g. a test harness injecting a stub)
+#: becomes visible on the next lookup.
+_CACHE: dict[str, ArrayBackend] = {}
+_CACHE_LOCK = threading.Lock()
+
+#: Explicit :func:`use` selection; ``None`` defers to ``REPRO_BACKEND`` /
+#: the numpy default.  Read lazily so the env var is honoured even when it
+#: is set after this module imports.
+_SELECTED: str | None = None
+
+
+def names() -> tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    return tuple(_FACTORIES)
+
+
+def backend(name: str) -> ArrayBackend:
+    """Construct (or return the cached) backend for ``name``.
+
+    Raises
+    ------
+    ConfigurationError
+        For a name that is not registered at all — the message lists the
+        valid choices.
+    BackendUnavailableError
+        For a registered name whose optional dependency is missing (a
+        subclass of :class:`ConfigurationError`, so a single ``except``
+        catches both; the differential suite catches *only* this one to
+        skip).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; valid choices: "
+            + ", ".join(sorted(_FACTORIES))
+        )
+    cached = _CACHE.get(name)  # lock-free fast path for the hot resolve()
+    if cached is not None:
+        return cached
+    with _CACHE_LOCK:
+        cached = _CACHE.get(name)
+        if cached is not None:
+            return cached
+        built = factory()
+        _CACHE[name] = built
+        return built
+
+
+def available() -> tuple[str, ...]:
+    """Names of the backends that construct successfully on this host."""
+    ready = []
+    for name in _FACTORIES:
+        try:
+            backend(name)
+        except BackendUnavailableError:
+            continue
+        ready.append(name)
+    return tuple(ready)
+
+
+def active() -> ArrayBackend:
+    """The backend in force: :func:`use` selection, else ``REPRO_BACKEND``,
+    else ``numpy``."""
+    name = _SELECTED or os.environ.get("REPRO_BACKEND") or "numpy"
+    return backend(name)
+
+
+def xp():
+    """The active backend's array namespace (``repro.backend.xp().abs(...)``)."""
+    return active().xp
+
+
+class _Selection:
+    """Return value of :func:`use`: already applied, optionally scoped.
+
+    ``use("numba")`` alone selects for the rest of the process;
+    ``with use("numba"): ...`` restores the previous selection on exit.
+    """
+
+    def __init__(self, name: str, previous: str | None):
+        self.backend = backend(name)  # validate (and cache) eagerly
+        self._previous = previous
+
+    def __enter__(self) -> ArrayBackend:
+        return self.backend
+
+    def __exit__(self, *exc_info) -> None:
+        global _SELECTED
+        _SELECTED = self._previous
+
+
+def use(name: str) -> _Selection:
+    """Select the process-wide backend (validating the name eagerly).
+
+    Returns a context manager so a scoped selection is one ``with`` away;
+    ignoring the return value simply leaves the selection in force.
+    """
+    global _SELECTED
+    selection = _Selection(name, _SELECTED)
+    _SELECTED = name
+    return selection
+
+
+def resolve(override: BackendLike = None) -> ArrayBackend:
+    """Resolve a per-call ``backend=`` override to a constructed backend.
+
+    ``None`` means the active selection; a string is looked up in the
+    registry; an :class:`ArrayBackend` passes through untouched.
+    """
+    if override is None:
+        return active()
+    if isinstance(override, ArrayBackend):
+        return override
+    if isinstance(override, str):
+        return backend(override)
+    raise ConfigurationError(
+        f"backend override must be a name, an ArrayBackend or None, "
+        f"got {type(override).__name__}"
+    )

@@ -1,0 +1,94 @@
+"""Diagnostic CLI: ``python -m repro.backend [name]``.
+
+With no argument, prints one row per registered backend — availability,
+version, device, whether the scalar fallbacks run JIT-compiled, whether
+float kernels are bit-exact against NumPy — plus the active selection and
+where it came from (``use()``, ``REPRO_BACKEND``, or the default).
+
+With a backend name, probes just that backend and exits 0 when it is
+usable, 1 when its optional dependency is missing.  Unknown names raise
+the same typed :class:`~repro.errors.ConfigurationError` (listing valid
+choices) that :func:`repro.backend.use` raises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro import backend as backends
+from repro.errors import BackendUnavailableError
+
+
+def _probe_rows() -> list[tuple[str, str, str, str, str, str]]:
+    rows = []
+    for name in backends.names():
+        try:
+            b = backends.backend(name)
+        except BackendUnavailableError as exc:
+            cause = exc.__cause__
+            detail = f"unavailable ({cause})" if cause is not None else "unavailable"
+            rows.append((name, detail, "-", "-", "-", "-"))
+            continue
+        rows.append(
+            (
+                name,
+                "available",
+                b.version,
+                b.device,
+                "yes" if b.jit else "no",
+                "exact" if b.exact else "tolerance",
+            )
+        )
+    return rows
+
+
+def _selection_source() -> str:
+    if backends._SELECTED is not None:
+        return "repro.backend.use()"
+    if os.environ.get("REPRO_BACKEND"):
+        return "REPRO_BACKEND environment variable"
+    return "default"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.backend",
+        description="Show registered array backends and the active selection.",
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="probe one backend; exit 0 if usable, 1 if its optional "
+        "dependency is missing (unknown names raise ConfigurationError)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name is not None:
+        try:
+            b = backends.backend(args.name)
+        except BackendUnavailableError as exc:
+            print(f"{args.name}: unavailable — {exc}")
+            return 1
+        print(
+            f"{b.name}: available (version {b.version}, device {b.device}, "
+            f"jit={'yes' if b.jit else 'no'}, "
+            f"floats={'exact' if b.exact else 'tolerance'})"
+        )
+        return 0
+
+    header = ("backend", "status", "version", "device", "jit", "floats")
+    rows = [header, *_probe_rows()]
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    active = backends.active()
+    print()
+    print(f"active: {active.name} (selected via {_selection_source()})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

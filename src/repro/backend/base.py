@@ -1,0 +1,97 @@
+"""The :class:`ArrayBackend` contract every named backend implements.
+
+A backend bundles an *array namespace* (``xp``) with the small amount of
+metadata the kernels need to dispatch correctly.  The namespace is the
+NumPy API surface — for NumPy and CuPy it is literally the module; for
+torch it is a thin adapter (:mod:`repro.backend.torch_adapter`) mapping the
+same function names onto tensors.  Ported kernels follow one rule so that
+every backend can serve them: **call ``xp.<function>(...)``, never array
+methods that differ between libraries** (``.copy()``, ``.max(axis=...)``,
+``.astype(...)`` are spelled ``xp.copy`` / ``xp.amax`` / ``xp.asarray(...,
+dtype=...)``).  Shape-and-indexing methods (``.reshape``, ``.shape``,
+slicing, integer/boolean fancy indexing, ``[..., None]``) are part of the
+common surface and stay method-style.
+
+Guarantees (enforced by ``tests/test_backends.py``, documented in
+``docs/backends.md``):
+
+* integer / cycle state is **bit-identical** to NumPy on every backend;
+* float kernels are bit-identical where ``exact`` is true (NumPy itself,
+  and the numba backend — whose tensor namespace *is* NumPy) and pinned
+  within a documented tolerance otherwise (GPU libraries may fuse or
+  reassociate float arithmetic);
+* a backend whose optional dependency is missing raises
+  :class:`~repro.errors.BackendUnavailableError` at construction and is
+  reported (not hidden) by :func:`repro.backend.available`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One named array backend: a namespace plus dispatch metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"numba"``, ``"cupy"``, ``"torch"``).
+    xp:
+        The array namespace the ported kernels call into.
+    version:
+        Version string of the backing library.
+    device:
+        ``"cpu"`` or ``"cuda"`` — where ``xp`` arrays live.
+    jit:
+        True when the *scalar fallbacks* (the NoC serve loop and resume
+        replay) should run through their numba-compiled variants.  Tensor
+        kernels are unaffected (the numba backend's ``xp`` is NumPy).
+    exact:
+        True when float tensor kernels are bit-identical to the NumPy
+        reference (integer/cycle state is bit-identical on *every*
+        backend regardless).
+    reduceat_min / reduceat_add:
+        Segment-reduction primitives ``(array, starts, axis) -> reduced``
+        with NumPy ``ufunc.reduceat`` semantics, or ``None`` when the
+        library has no equivalent — kernels then fall back to the dense
+        per-degree-group path.
+    """
+
+    name: str
+    xp: Any
+    version: str
+    device: str = "cpu"
+    jit: bool = False
+    exact: bool = True
+    reduceat_min: Callable[..., Any] | None = field(default=None, repr=False)
+    reduceat_add: Callable[..., Any] | None = field(default=None, repr=False)
+    _to_numpy: Callable[[Any], np.ndarray] | None = field(default=None, repr=False)
+
+    @property
+    def supports_segments(self) -> bool:
+        """Whether the flat-edge segment-reduction kernels can run here."""
+        return self.reduceat_min is not None and self.reduceat_add is not None
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        """Lift ``values`` (host array or device array) into this namespace."""
+        if dtype is None:
+            return self.xp.asarray(values)
+        return self.xp.asarray(values, dtype=dtype)
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        """Bring a namespace array back to a host :class:`numpy.ndarray`."""
+        if self._to_numpy is None:
+            return np.asarray(values)
+        return self._to_numpy(values)
+
+    @property
+    def key(self) -> tuple[str, bool]:
+        """Hashable identity used by calibration caches (name, jit)."""
+        return (self.name, self.jit)

@@ -1,0 +1,56 @@
+"""Numba compilation helper for the scalar-fallback kernels.
+
+The NoC scalar fallbacks (:mod:`repro.noc.engine_jit`) are written in
+*nopython-compatible* style: plain Python loops over preallocated NumPy
+arrays, no lists-of-lists, no closures, no object-mode anything.  That
+style is the whole trick — the exact same function body runs under the
+plain interpreter (slowly, but bit-identically), so the differential suite
+can validate the algorithm on hosts without numba, and
+:func:`maybe_compile` merely makes it fast where numba exists.
+
+Compilation is cached per function, and the first call per signature pays
+numba's compile cost — benchmarks report that warm-up separately from
+steady state (see ``benchmarks/bench_backends.py`` and the caveats section
+of ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["maybe_compile", "numba_available"]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Compiled variants, keyed by the original function object.
+_COMPILED: dict[Callable, Callable] = {}
+
+
+def numba_available() -> bool:
+    """Whether ``numba.njit`` can be imported on this host."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def maybe_compile(func: _F) -> _F:
+    """Return the ``numba.njit``-compiled variant of ``func`` if numba is
+    importable, else ``func`` itself.
+
+    ``cache=True`` persists the compiled machine code across processes so a
+    service restart does not re-pay compilation; ``nogil=True`` lets the
+    thread-pool decode paths overlap compiled regions.
+    """
+    compiled = _COMPILED.get(func)
+    if compiled is not None:
+        return compiled
+    try:
+        from numba import njit
+    except ImportError:
+        _COMPILED[func] = func
+        return func
+    compiled = njit(cache=True, nogil=True)(func)
+    _COMPILED[func] = compiled
+    return compiled

@@ -1,0 +1,213 @@
+"""NumPy-surface adapter over ``torch`` tensors.
+
+torch's API diverges from NumPy exactly where the ported kernels live
+(``dim`` vs ``axis``, ``max`` returning ``(values, indices)``, ``cat`` vs
+``concatenate``), so the torch backend's ``xp`` is this adapter rather than
+the raw module.  Only the functions the ported kernels actually call are
+mapped; anything else falls through to the ``torch`` module via
+``__getattr__`` so incidental uses of matching names still work.
+
+The adapter is intentionally *thin*: every function takes and returns
+``torch.Tensor`` objects (host NumPy inputs are lifted by ``asarray``), and
+float results follow torch's arithmetic — bit-exactness versus NumPy is not
+guaranteed, which is why the torch backend registers with ``exact=False``
+and the differential suite pins it with tolerances instead of equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TorchNamespace"]
+
+
+def _dim(axis: Any) -> Any:
+    return axis
+
+
+class TorchNamespace:
+    """Callable-surface adapter: NumPy names, torch tensors underneath."""
+
+    def __init__(self, torch_module: Any, device: str = "cpu"):
+        self.torch = torch_module
+        self.device = device
+        # Dtype aliases so ``dtype=xp.float64``-style call sites resolve.
+        self.float64 = torch_module.float64
+        self.float32 = torch_module.float32
+        self.int64 = torch_module.int64
+        self.int32 = torch_module.int32
+        self.int8 = torch_module.int8
+        self.bool_ = torch_module.bool
+        self.inf = float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _map_dtype(self, dtype: Any) -> Any:
+        if dtype is None or isinstance(dtype, self.torch.dtype):
+            return dtype
+        return {
+            np.float64: self.float64,
+            np.float32: self.float32,
+            np.int64: self.int64,
+            np.int32: self.int32,
+            np.int8: self.int8,
+            bool: self.bool_,
+            np.bool_: self.bool_,
+        }.get(np.dtype(dtype).type if dtype is not bool else bool, dtype)
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        dtype = self._map_dtype(dtype)
+        if isinstance(values, self.torch.Tensor):
+            out = values.to(self.device)
+            return out if dtype is None else out.to(dtype)
+        return self.torch.as_tensor(
+            np.asarray(values), dtype=dtype, device=self.device
+        )
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Any:
+        return self.torch.zeros(
+            shape, dtype=self._map_dtype(dtype) or self.float64, device=self.device
+        )
+
+    def empty(self, shape: Any, dtype: Any = None) -> Any:
+        return self.torch.empty(
+            shape, dtype=self._map_dtype(dtype) or self.float64, device=self.device
+        )
+
+    def empty_like(self, a: Any) -> Any:
+        return self.torch.empty_like(a)
+
+    def zeros_like(self, a: Any) -> Any:
+        return self.torch.zeros_like(a)
+
+    def ones_like(self, a: Any) -> Any:
+        return self.torch.ones_like(a)
+
+    def arange(self, *args: Any, dtype: Any = None) -> Any:
+        return self.torch.arange(
+            *args, dtype=self._map_dtype(dtype), device=self.device
+        )
+
+    def copy(self, a: Any) -> Any:
+        return a.clone()
+
+    def ascontiguousarray(self, a: Any) -> Any:
+        return a.contiguous()
+
+    # ------------------------------------------------------------------ #
+    # Elementwise
+    # ------------------------------------------------------------------ #
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
+        a = a if isinstance(a, self.torch.Tensor) else self.torch.as_tensor(
+            a, device=self.device
+        )
+        b = b if isinstance(b, self.torch.Tensor) else self.torch.as_tensor(
+            b, device=self.device
+        )
+        return self.torch.where(cond, a, b)
+
+    def abs(self, a: Any) -> Any:
+        return self.torch.abs(a)
+
+    def signbit(self, a: Any) -> Any:
+        return self.torch.signbit(a)
+
+    def clip(self, a: Any, lo: Any, hi: Any) -> Any:
+        return self.torch.clamp(a, min=lo, max=hi)
+
+    def tanh(self, a: Any) -> Any:
+        return self.torch.tanh(a)
+
+    def arctanh(self, a: Any) -> Any:
+        return self.torch.atanh(a)
+
+    def exp(self, a: Any) -> Any:
+        return self.torch.exp(a)
+
+    def log(self, a: Any) -> Any:
+        return self.torch.log(a)
+
+    def maximum(self, a: Any, b: Any, out: Any = None) -> Any:
+        if out is not None:
+            return self.torch.maximum(a, b, out=out)
+        return self.torch.maximum(a, b)
+
+    def minimum(self, a: Any, b: Any) -> Any:
+        return self.torch.minimum(a, b)
+
+    # ------------------------------------------------------------------ #
+    # Reductions / scans
+    # ------------------------------------------------------------------ #
+    def amax(self, a: Any, axis: Any = None, keepdims: bool = False) -> Any:
+        if axis is None:
+            return self.torch.amax(a)
+        return self.torch.amax(a, dim=_dim(axis), keepdim=keepdims)
+
+    def amin(self, a: Any, axis: Any = None, keepdims: bool = False) -> Any:
+        if axis is None:
+            return self.torch.amin(a)
+        return self.torch.amin(a, dim=_dim(axis), keepdim=keepdims)
+
+    def sum(self, a: Any, axis: Any = None, keepdims: bool = False) -> Any:
+        if axis is None:
+            return self.torch.sum(a)
+        return self.torch.sum(a, dim=_dim(axis), keepdim=keepdims)
+
+    def prod(self, a: Any, axis: Any = None) -> Any:
+        if axis is None:
+            return self.torch.prod(a)
+        return self.torch.prod(a, dim=_dim(axis))
+
+    def argmin(self, a: Any, axis: Any = None) -> Any:
+        return self.torch.argmin(a, dim=_dim(axis))
+
+    def argmax(self, a: Any, axis: Any = None) -> Any:
+        return self.torch.argmax(a, dim=_dim(axis))
+
+    def count_nonzero(self, a: Any, axis: Any = None) -> Any:
+        return self.torch.count_nonzero(a, dim=_dim(axis))
+
+    def cumprod(self, a: Any, axis: Any = -1) -> Any:
+        return self.torch.cumprod(a, dim=_dim(axis))
+
+    def cumsum(self, a: Any, axis: Any = -1) -> Any:
+        return self.torch.cumsum(a, dim=_dim(axis))
+
+    def flip(self, a: Any, axis: Any = -1) -> Any:
+        dims = (axis,) if isinstance(axis, int) else tuple(axis)
+        return self.torch.flip(a, dims=dims)
+
+    # ------------------------------------------------------------------ #
+    # Shape / gather / scatter
+    # ------------------------------------------------------------------ #
+    def concatenate(self, parts: Any, axis: int = 0) -> Any:
+        return self.torch.cat(list(parts), dim=_dim(axis))
+
+    def squeeze(self, a: Any, axis: Any = None) -> Any:
+        if axis is None:
+            return self.torch.squeeze(a)
+        return self.torch.squeeze(a, dim=_dim(axis))
+
+    def transpose(self, a: Any, axes: Any) -> Any:
+        return a.permute(*axes)
+
+    def take_along_axis(self, a: Any, indices: Any, axis: int) -> Any:
+        return self.torch.take_along_dim(a, indices, dim=_dim(axis))
+
+    def put_along_axis(self, a: Any, indices: Any, values: Any, axis: int) -> None:
+        if not isinstance(values, self.torch.Tensor):
+            values = self.torch.as_tensor(values, dtype=a.dtype, device=a.device)
+        a.scatter_(_dim(axis), indices, values.expand_as(indices).to(a.dtype))
+
+    def repeat(self, a: Any, repeats: Any, axis: Any = None) -> Any:
+        if not isinstance(repeats, (int, self.torch.Tensor)):
+            repeats = self.torch.as_tensor(
+                np.asarray(repeats), device=self.device
+            )
+        return self.torch.repeat_interleave(a, repeats, dim=_dim(axis))
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.torch, name)

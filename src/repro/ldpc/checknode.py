@@ -55,12 +55,20 @@ def min_sum_check_update(
         Check-to-variable messages ``R_{lk}^{new}`` for every edge, i.e.
         ``-delta'_{lk} * min_{n != k} |Q_{ln}|`` with
         ``delta'_{lk} = sigma * prod_{n != k} sgn(Q_{ln})``.
+
+    Notes
+    -----
+    The sign of a message is its IEEE-754 sign *bit* (``np.signbit``), so
+    ``-0.0`` counts as negative.  An ``arr < 0`` test would instead depend
+    on *how* an exactly-zero magnitude was produced (``-0.0`` vs ``0.0``),
+    and the vectorised twins in :mod:`repro.sim.kernels` — pinned
+    bit-identical to this function — use the same convention.
     """
     q = np.asarray(q_values, dtype=np.float64)
     if q.ndim != 1 or q.size < 2:
         raise DecodingError("min_sum_check_update needs at least two edge messages")
     magnitudes = np.abs(q)
-    signs = np.where(q < 0, -1.0, 1.0)
+    signs = np.where(np.signbit(q), -1.0, 1.0)
     min1, min2, argmin1 = first_two_minima(magnitudes)
     total_sign = float(np.prod(signs))
     # Magnitude seen by edge k is min over the *other* edges: min2 for the

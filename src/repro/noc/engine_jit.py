@@ -1,0 +1,678 @@
+"""JIT-able array-state twins of the NoC engines' scalar hot loops.
+
+The two pure-Python scalar paths left in the NoC layer — the struct-of-arrays
+engine's serve loop (:func:`repro.noc.engine._run_engine`) and the batched
+kernel's small-round resume replay
+(:func:`repro.noc.engine_batch._resume_python`) — spend their time in plain
+interpreter bytecode over Python lists.  This module ports both to
+*nopython-compatible* array style: every loop walks preallocated NumPy
+arrays with integer indices, no lists, dicts, closures or exceptions, so the
+exact same function body
+
+* runs under the plain interpreter (slowly, but **bit-identically** — the
+  differential suite pins it against the list-based originals on hosts
+  without numba), and
+* compiles unchanged through :func:`repro.backend.jit.maybe_compile` when
+  the ``numba`` backend is selected, removing the interpreter from the last
+  per-message hot paths.
+
+Randomness stays bit-exact through a *word-block re-entry protocol*: the
+scalar engines draw from ``random.Random(seed).getrandbits`` one call at a
+time, which a compiled kernel cannot do.  Instead the kernels consume
+pregenerated blocks of raw 32-bit Mersenne-Twister words (the same
+``getrandbits(32 * N)`` little-endian decode as
+:class:`repro.utils.rng.DeflectionStreams`, so the word sequence is the
+scalar stream verbatim) and, when a block runs dry mid-draw, *suspend*:
+they save their loop coordinates into a small ``state`` vector and return a
+status code; the Python wrapper refills the block and re-enters, and the
+kernel resumes at the exact draw it stopped on.  The same protocol handles
+backing-buffer growth (the engine kernel reports "need room" at a cycle
+boundary and the wrapper doubles the buffer).
+
+Neither entry point imports numba: compilation is attempted lazily via
+:func:`~repro.backend.jit.maybe_compile` on first use, and the interpreted
+fallback is the same code object.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.backend.jit import maybe_compile
+from repro.errors import SimulationError
+
+__all__ = ["resume_replay", "run_engine_arrays"]
+
+#: 32-bit MT words pregenerated per refill of the engine kernel's draw block.
+#: Any size yields the same stream (blocks concatenate seamlessly); the first
+#: block is only generated when a run actually draws, so DCM runs pay nothing.
+_WORD_BLOCK = 4096
+
+#: Status codes shared by both kernels.
+_DONE = 0
+_NEED_WORDS = 1
+_MAX_CYCLES = 2
+_NEED_ROOM = 3
+
+
+# --------------------------------------------------------------------------- #
+# Resume-replay kernel (twin of engine_batch._resume_python)
+# --------------------------------------------------------------------------- #
+def _resume_replay_kernel(
+    rows, w0s, n, M, NFp, max_out, ap_k, asp, scm,
+    nocc_r, sf_r, mid_r, dest_r, free_r, lf_r,
+    sp_flat, ap_flat, ap_cnt, tgt_flat, out_deg, sent, shift_tab,
+    words, cursors, counts, chunk,
+    pops, dels, deljobs, mis, s_sidx, s_mid, s_job,
+    out_counts, state,
+):
+    """Replay suspended (job, node) passes from gathered per-row columns.
+
+    Returns ``-1`` when every pass has been replayed, or the job id whose
+    word block ran dry mid-draw (the wrapper refills it and re-enters with
+    ``state`` holding the suspension point).  Output appends persist across
+    re-entries through the ``out_counts`` write cursors.
+    """
+    c_pop = out_counts[0]
+    c_del = out_counts[1]
+    c_mis = out_counts[2]
+    c_s = out_counts[3]
+    i0 = state[0] if state[0] >= 0 else 0
+    for i in range(i0, rows.shape[0]):
+        row = rows[i]
+        j = row // n
+        node = row - j * n
+        if state[0] == i:
+            w_start = state[1]
+            free = state[2]
+            lf = state[3] != 0
+            state[0] = -1
+        else:
+            w_start = w0s[i]
+            free = free_r[i]
+            lf = lf_r[i]
+        jb_m = j * M
+        jb_nf = j * NFp
+        spb = node * n
+        tgtb = node * max_out
+        odeg = out_deg[node]
+        for w in range(w_start, nocc_r[i]):
+            mid = mid_r[i, w]
+            dest = dest_r[i, w]
+            if dest == node:
+                if lf:
+                    pops[c_pop] = jb_nf + sf_r[i, w]
+                    c_pop += 1
+                    dels[c_del] = jb_m + mid
+                    deljobs[c_del] = j
+                    c_del += 1
+                    lf = False
+                continue
+            out = -1
+            if asp:
+                best = -1
+                base = (spb + dest) * ap_k
+                for t in range(ap_cnt[spb + dest]):
+                    q = ap_flat[base + t]
+                    if (free >> q) & 1:
+                        c = sent[row * max_out + q]
+                        if best < 0 or c < best:
+                            best = c
+                            out = q
+            else:
+                q = sp_flat[spb + dest]
+                if (free >> q) & 1:
+                    out = q
+            if out < 0:
+                if (not scm) or free == 0:
+                    continue
+                n_cand = 0
+                for q in range(odeg):
+                    if (free >> q) & 1:
+                        n_cand += 1
+                shift = shift_tab[n_cand]
+                while True:
+                    cur = cursors[j]
+                    if cur == chunk:
+                        state[0] = i
+                        state[1] = w
+                        state[2] = free
+                        state[3] = 1 if lf else 0
+                        out_counts[0] = c_pop
+                        out_counts[1] = c_del
+                        out_counts[2] = c_mis
+                        out_counts[3] = c_s
+                        return j
+                    r = words[j, cur] >> shift
+                    cursors[j] = cur + 1
+                    if r < n_cand:
+                        break
+                counts[j] += 1
+                seen = -1
+                for q in range(odeg):
+                    if (free >> q) & 1:
+                        seen += 1
+                        if seen == r:
+                            out = q
+                            break
+                mis[c_mis] = jb_m + mid
+                c_mis += 1
+            pops[c_pop] = jb_nf + sf_r[i, w]
+            c_pop += 1
+            free &= ~(1 << out)
+            if asp:
+                sent[row * max_out + out] += 1
+            s_sidx[c_s] = jb_nf + tgt_flat[tgtb + out]
+            s_mid[c_s] = mid
+            s_job[c_s] = j
+            c_s += 1
+    out_counts[0] = c_pop
+    out_counts[1] = c_del
+    out_counts[2] = c_mis
+    out_counts[3] = c_s
+    return -1
+
+
+def resume_replay(
+    st, rows, w0s, n_occ, serve_fid, mid_t, dest_flat, free_arr,
+    local_free_arr, sent, draws, M, NFp,
+    pops_parts, dels_parts, deljob_parts, mis_parts,
+    ssidx_parts, smid_parts, sjob_parts,
+):
+    """Array-state replay of suspended passes: signature-compatible with
+    :func:`repro.noc.engine_batch._resume_python`, draw-for-draw identical.
+
+    Gathers the per-row columns exactly as the list replay does, runs the
+    nopython-style kernel (compiled when numba is importable), and appends
+    the same pop / delivery / send scatters to the caller's part lists.
+    """
+    n = st.n_nodes
+    jobs = rows // n
+    k = rows.size
+    mids = mid_t[:, rows]  # (wmax, k)
+    nocc_r = n_occ[rows].astype(np.int64)
+    sf_r = serve_fid[rows].astype(np.int64)
+    mid_r = np.ascontiguousarray(mids.T).astype(np.int64)
+    dest_r = np.ascontiguousarray(
+        dest_flat[(jobs * M)[None, :] + mids].T
+    ).astype(np.int64)
+    free_r = free_arr[rows].astype(np.int64)
+    lf_r = local_free_arr[rows].copy()
+    tabs = _replay_tables(st)
+    sp_flat, ap_flat, ap_cnt, tgt_flat, out_deg = tabs
+    if sent is None:
+        # DCM / SSP runs have no ASP counters; the kernel still needs an
+        # array argument (never read: asp is False).
+        sent_arr = _EMPTY_I64
+    else:
+        sent_arr = sent
+    words = draws._words
+    if words is None:
+        words = _EMPTY_WORDS  # never read: every cursor sits at chunk
+    rows64 = rows.astype(np.int64)
+    w0s64 = w0s.astype(np.int64)
+    cap = int((nocc_r - w0s64).sum())
+    pops = np.empty(cap, dtype=np.int64)
+    dels = np.empty(cap, dtype=np.int64)
+    deljobs = np.empty(cap, dtype=np.int64)
+    mis = np.empty(cap, dtype=np.int64)
+    s_sidx = np.empty(cap, dtype=np.int64)
+    s_mid = np.empty(cap, dtype=np.int64)
+    s_job = np.empty(cap, dtype=np.int64)
+    out_counts = np.zeros(4, dtype=np.int64)
+    state = np.full(4, -1, dtype=np.int64)
+    kernel = maybe_compile(_resume_replay_kernel)
+    while True:
+        job = kernel(
+            rows64, w0s64,
+            n, M, NFp, st.max_out, st.ap_k, st.asp_mode, st.scm_mode,
+            nocc_r, sf_r, mid_r, dest_r, free_r, lf_r,
+            sp_flat, ap_flat, ap_cnt, tgt_flat, out_deg, sent_arr,
+            st.shift_tab, words, draws._cursors, draws.draw_counts,
+            draws.chunk,
+            pops, dels, deljobs, mis, s_sidx, s_mid, s_job,
+            out_counts, state,
+        )
+        if job < 0:
+            break
+        words = draws._refill(int(job))
+    c_pop, c_del, c_mis, c_s = (int(v) for v in out_counts)
+    if c_pop:
+        pops_parts.append(pops[:c_pop])
+    if c_del:
+        dels_parts.append(dels[:c_del])
+        deljob_parts.append(deljobs[:c_del])
+    if c_mis:
+        mis_parts.append(mis[:c_mis])
+    if c_s:
+        ssidx_parts.append(s_sidx[:c_s])
+        smid_parts.append(s_mid[:c_s].astype(np.int32))
+        sjob_parts.append(s_job[:c_s])
+
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_WORDS = np.zeros((0, 0), dtype=np.int64)
+
+
+def _replay_tables(st):
+    """Dense int64 routing lowerings for the replay kernel, cached on ``st``."""
+    tabs = getattr(st, "_jit_replay_tables", None)
+    if tabs is None:
+        tabs = (
+            st.sp_flat.astype(np.int64),
+            np.ascontiguousarray(st.ap_flat).reshape(-1).astype(np.int64),
+            st.ap_cnt_flat.astype(np.int64),
+            st.tgt_flat.astype(np.int64),
+            np.asarray(st.out_deg, dtype=np.int64),
+        )
+        st._jit_replay_tables = tabs
+    return tabs
+
+
+# --------------------------------------------------------------------------- #
+# Full serve-loop engine kernel (twin of engine._run_engine)
+# --------------------------------------------------------------------------- #
+# state vector layout (all int64):
+#   0 phase (0 = cycle boundary, 1 = mid-pass at a draw)   8 order length k
+#   1 cycle          4 free-port mask    9 delivered      12 pending count
+#   2 node           5 local_free       10 local_bypassed 13 touched count
+#   3 w (order pos)  6 rr_served        11 total_hops     14 word cursor
+#                    7 rr start                           15 max network len
+def _serve_loop_kernel(
+    n, total, max_out, ap_k, cap, rate, max_cycles,
+    rr, asp, scm, unbounded,
+    fifo_base, fcount, inject_fid, out_deg, tgt, sp, ap_flat, ap_cnt,
+    full_mask, shift_tab,
+    msg_dest, bypass, inj_cycle, del_cycle, misrouted,
+    buf, heads, lens, occ, maxocc, sched, pending, touched,
+    rr_ptr, sent, credit, inj_ptr, inj_end,
+    ord_key, ord_fid, words, state,
+):
+    """One (re-)entry into the struct-of-arrays serve loop.
+
+    Runs cycles until every message lands (status 0), the deflection word
+    block runs dry mid-draw (1), ``max_cycles`` is exceeded (2) or a network
+    FIFO's backing row could overflow next cycle (3).  All loop coordinates
+    live in ``state`` so a suspended call resumes at the exact draw.
+    """
+    L = buf.shape[1]
+    W = words.shape[0]
+    cycle = state[1]
+    delivered = state[9]
+    local_bypassed = state[10]
+    total_hops = state[11]
+    n_pend = state[12]
+    n_touch = state[13]
+    wcur = state[14]
+    maxlen = state[15]
+    resume_node = state[2] if state[0] == 1 else -1
+
+    while delivered < total:
+        if resume_node < 0:
+            if cycle > max_cycles:
+                state[0] = 0
+                state[1] = cycle
+                state[9] = delivered
+                return _MAX_CYCLES
+            if maxlen + 1 > L:
+                state[0] = 0
+                state[1] = cycle
+                state[9] = delivered
+                state[10] = local_bypassed
+                state[11] = total_hops
+                state[12] = n_pend
+                state[13] = n_touch
+                state[14] = wcur
+                state[15] = maxlen
+                return _NEED_ROOM
+
+            # 1. Link arrivals scheduled on the previous cycle, in send order.
+            for p in range(n_pend):
+                f = pending[p]
+                o = occ[f] + 1
+                occ[f] = o
+                if o > maxocc[f]:
+                    maxocc[f] = o
+            n_pend = 0
+            for p in range(n_touch):
+                sched[touched[p]] = 0
+            n_touch = 0
+            node0 = 0
+        else:
+            node0 = resume_node
+
+        # 2. Crossbar pass on every node, in node order.
+        for node in range(node0, n):
+            fb = fifo_base[node]
+            fc = fcount[node]
+            if node == resume_node:
+                w0 = state[3]
+                free = state[4]
+                lf = state[5] != 0
+                rr_served = state[6] != 0
+                start = state[7]
+                k = state[8]
+                resume_node = -1
+            else:
+                w0 = 0
+                start = rr_ptr[node]
+                if rr:
+                    k = fc
+                else:
+                    # Longest FIFO first, ties by fid: stable insertion sort
+                    # of the packed key (fid - occ * 2**20), exactly the
+                    # scalar engine's ascending (-occ, fid) order.
+                    k = 0
+                    for t in range(fc):
+                        f = fb + t
+                        o = occ[f]
+                        if o != 0:
+                            key = f - (o << 20)
+                            p = k
+                            while p > 0 and ord_key[p - 1] > key:
+                                ord_key[p] = ord_key[p - 1]
+                                ord_fid[p] = ord_fid[p - 1]
+                                p -= 1
+                            ord_key[p] = key
+                            ord_fid[p] = f
+                            k += 1
+                    if k == 0:
+                        continue
+                if unbounded:
+                    free = full_mask[node]
+                else:
+                    free = 0
+                    for q in range(out_deg[node]):
+                        t_ = tgt[node, q]
+                        if occ[t_] + sched[t_] < cap:
+                            free |= 1 << q
+                lf = True
+                rr_served = False
+
+            for w in range(w0, k):
+                if rr:
+                    fid = fb + (start + w) % fc
+                    if occ[fid] == 0:
+                        continue
+                    rr_served = True
+                else:
+                    fid = ord_fid[w]
+                mid = buf[fid, heads[fid]]
+                dest = msg_dest[mid]
+                if dest == node:
+                    if lf:
+                        heads[fid] += 1
+                        occ[fid] -= 1
+                        del_cycle[mid] = cycle
+                        delivered += 1
+                        lf = False
+                    continue
+                out = -1
+                if asp:
+                    best = -1
+                    base = (node * n + dest) * ap_k
+                    for t in range(ap_cnt[node * n + dest]):
+                        q = ap_flat[base + t]
+                        if (free >> q) & 1:
+                            c = sent[node, q]
+                            if best < 0 or c < best:
+                                best = c
+                                out = q
+                else:
+                    q = sp[node, dest]
+                    if (free >> q) & 1:
+                        out = q
+                deflected = False
+                if out < 0:
+                    if (not scm) or free == 0:
+                        continue
+                    n_cand = 0
+                    for q in range(out_deg[node]):
+                        if (free >> q) & 1:
+                            n_cand += 1
+                    shift = shift_tab[n_cand]
+                    while True:
+                        if wcur == W:
+                            state[0] = 1
+                            state[1] = cycle
+                            state[2] = node
+                            state[3] = w
+                            state[4] = free
+                            state[5] = 1 if lf else 0
+                            state[6] = 1 if rr_served else 0
+                            state[7] = start
+                            state[8] = k
+                            state[9] = delivered
+                            state[10] = local_bypassed
+                            state[11] = total_hops
+                            state[12] = n_pend
+                            state[13] = n_touch
+                            state[14] = wcur
+                            state[15] = maxlen
+                            return _NEED_WORDS
+                        r = words[wcur] >> shift
+                        wcur += 1
+                        if r < n_cand:
+                            break
+                    seen = -1
+                    for q in range(out_deg[node]):
+                        if (free >> q) & 1:
+                            seen += 1
+                            if seen == r:
+                                out = q
+                                break
+                    deflected = True
+                heads[fid] += 1
+                occ[fid] -= 1
+                free &= ~(1 << out)
+                sent[node, out] += 1
+                t_ = tgt[node, out]
+                if not unbounded:
+                    if sched[t_] == 0:
+                        touched[n_touch] = t_
+                        n_touch += 1
+                    sched[t_] += 1
+                total_hops += 1
+                if deflected:
+                    misrouted[mid] = 1
+                buf[t_, lens[t_]] = mid
+                lens[t_] += 1
+                if lens[t_] > maxlen:
+                    maxlen = lens[t_]
+                pending[n_pend] = t_
+                n_pend += 1
+            if rr and rr_served:
+                rr_ptr[node] = (start + 1) % fc
+
+        # 3. PE injection at rate R; bypass messages deliver immediately.
+        for node in range(n):
+            ptr = inj_ptr[node]
+            end = inj_end[node]
+            if ptr >= end:
+                continue
+            c = credit[node] + rate
+            ifid = inject_fid[node]
+            pushed = 0
+            while ptr < end:
+                if bypass[ptr]:
+                    inj_cycle[ptr] = cycle
+                    del_cycle[ptr] = cycle
+                    delivered += 1
+                    local_bypassed += 1
+                    ptr += 1
+                    continue
+                if c < 1.0 or occ[ifid] + pushed >= cap:
+                    break
+                inj_cycle[ptr] = cycle
+                c -= 1.0
+                buf[ifid, lens[ifid]] = ptr
+                lens[ifid] += 1
+                pushed += 1
+                ptr += 1
+            if pushed:
+                o = occ[ifid] + pushed
+                occ[ifid] = o
+                if o > maxocc[ifid]:
+                    maxocc[ifid] = o
+            inj_ptr[node] = ptr
+            credit[node] = c
+        cycle += 1
+
+    state[0] = 0
+    state[1] = cycle
+    state[9] = delivered
+    state[10] = local_bypassed
+    state[11] = total_hops
+    state[14] = wcur
+    return _DONE
+
+
+def _engine_tables(st):
+    """Dense int64 lowerings of a scalar ``_StaticState``, cached on it."""
+    tabs = getattr(st, "_jit_engine_tables", None)
+    if tabs is not None:
+        return tabs
+    n = st.n_nodes
+    max_out = max(max(st.out_deg, default=0), 1)
+    tgt = np.zeros((n, max_out), dtype=np.int64)
+    for node in range(n):
+        for q in range(st.out_deg[node]):
+            tgt[node, q] = st.out_target_fid[node][q]
+    sp = np.asarray(st.single_port, dtype=np.int64)
+    ap_k = max(
+        (len(ports) for row in st.all_ports for ports in row), default=1
+    )
+    ap_k = max(ap_k, 1)
+    ap_flat = np.zeros(n * n * ap_k, dtype=np.int64)
+    ap_cnt = np.zeros(n * n, dtype=np.int64)
+    for node in range(n):
+        for dest in range(n):
+            ports = st.all_ports[node][dest]
+            ap_cnt[node * n + dest] = len(ports)
+            base = (node * n + dest) * ap_k
+            for t, q in enumerate(ports):
+                ap_flat[base + t] = q
+    shift_tab = np.array(
+        [32] + [32 - k.bit_length() for k in range(1, max_out + 1)],
+        dtype=np.int64,
+    )
+    tabs = (
+        max_out,
+        ap_k,
+        np.asarray(st.fifo_base, dtype=np.int64),
+        np.asarray(
+            [st.in_deg[node] + 1 for node in range(n)], dtype=np.int64
+        ),
+        np.asarray(st.inject_fid, dtype=np.int64),
+        np.asarray(st.out_deg, dtype=np.int64),
+        tgt,
+        sp,
+        ap_flat,
+        ap_cnt,
+        np.asarray(st.full_masks, dtype=np.int64),
+        shift_tab,
+    )
+    st._jit_engine_tables = tabs
+    return tabs
+
+
+def run_engine_arrays(st, messages, traffic_label, seed, max_cycles):
+    """Array-state run of one message-passing phase, cycle-exact with
+    :func:`repro.noc.engine._run_engine` for any (static state, traffic, seed).
+
+    Drives :func:`_serve_loop_kernel` (compiled when numba is importable,
+    interpreted otherwise) through the word-refill / buffer-grow re-entry
+    protocol and folds the results through the scalar engine's own
+    ``_collect_result``.
+    """
+    from repro.noc.engine import _collect_result
+
+    (
+        max_out, ap_k, fifo_base, fcount, inject_fid, out_deg, tgt, sp,
+        ap_flat, ap_cnt, full_mask, shift_tab,
+    ) = _engine_tables(st)
+    n = st.n_nodes
+    n_fifos = st.n_fifos
+    if n_fifos >= 1 << 20:
+        raise SimulationError(
+            "JIT serve loop supports at most 2**20 FIFOs (order-key packing)"
+        )
+    total = messages.total
+    msg_dest = messages.dest.astype(np.int64)
+    node_offset = messages.node_offset.astype(np.int64)
+    if st.route_local:
+        bypass = np.zeros(total, dtype=bool)
+    else:
+        bypass = messages.dest == messages.source
+    inj_cycle = np.zeros(total, dtype=np.int64)
+    del_cycle = np.full(total, -1, dtype=np.int64)
+    misrouted = np.zeros(total, dtype=np.int64)
+
+    # A node's injection FIFO receives each of its messages at most once, so
+    # rows sized to the largest per-node count never overflow from injection;
+    # network rows gain at most one entry per cycle and grow on demand
+    # through the _NEED_ROOM protocol.
+    counts = np.diff(node_offset)
+    L = max(int(counts.max(initial=0)), 16)
+    buf = np.zeros((n_fifos, L), dtype=np.int64)
+    heads = np.zeros(n_fifos, dtype=np.int64)
+    lens = np.zeros(n_fifos, dtype=np.int64)
+    occ = np.zeros(n_fifos, dtype=np.int64)
+    maxocc = np.zeros(n_fifos, dtype=np.int64)
+    sched = np.zeros(n_fifos, dtype=np.int64)
+    n_arcs = max(int(np.asarray(st.out_deg).sum()), 1)
+    pending = np.zeros(n_arcs, dtype=np.int64)
+    touched = np.zeros(n_arcs, dtype=np.int64)
+    rr_ptr = np.zeros(n, dtype=np.int64)
+    sent = np.zeros((n, max_out), dtype=np.int64)
+    credit = np.zeros(n, dtype=np.float64)
+    inj_ptr = node_offset[:-1].copy()
+    inj_end = node_offset[1:].copy()
+    fmax = int(fcount.max(initial=1))
+    ord_key = np.zeros(fmax, dtype=np.int64)
+    ord_fid = np.zeros(fmax, dtype=np.int64)
+
+    # Deflection words are generated lazily: the kernel starts with an empty
+    # block, and the first _NEED_WORDS return materializes the stream.
+    rnd = random.Random(seed)
+    words = np.zeros(0, dtype=np.int64)
+    state = np.zeros(16, dtype=np.int64)
+
+    kernel = maybe_compile(_serve_loop_kernel)
+    unbounded = st.capacity > total
+    while True:
+        status = kernel(
+            n, total, max_out, ap_k, st.capacity, st.injection_rate,
+            max_cycles, st.rr_mode, st.asp_mode, st.scm_mode, unbounded,
+            fifo_base, fcount, inject_fid, out_deg, tgt, sp, ap_flat, ap_cnt,
+            full_mask, shift_tab,
+            msg_dest, bypass, inj_cycle, del_cycle, misrouted,
+            buf, heads, lens, occ, maxocc, sched, pending, touched,
+            rr_ptr, sent, credit, inj_ptr, inj_end,
+            ord_key, ord_fid, words, state,
+        )
+        if status == _DONE:
+            break
+        if status == _NEED_WORDS:
+            block = rnd.getrandbits(32 * _WORD_BLOCK)
+            raw = block.to_bytes(4 * _WORD_BLOCK, "little")
+            words = np.frombuffer(raw, dtype="<u4").astype(np.int64)
+            state[14] = 0
+        elif status == _NEED_ROOM:
+            grown = np.zeros((n_fifos, 2 * L), dtype=np.int64)
+            grown[:, :L] = buf
+            buf = grown
+            L = 2 * L
+        else:  # _MAX_CYCLES
+            raise SimulationError(
+                f"simulation exceeded {max_cycles} cycles with "
+                f"{total - int(state[9])} messages still in flight"
+            )
+
+    return _collect_result(
+        st, messages, traffic_label, int(state[1]), int(state[9]),
+        int(state[10]), maxocc.tolist(), inj_cycle.tolist(),
+        del_cycle.tolist(), int(state[11]), misrouted.tolist(),
+    )

@@ -1,0 +1,527 @@
+"""Differential suite for the pluggable array-backend layer.
+
+Three families of guarantees (documented in ``docs/backends.md``):
+
+* **registry & selection** — ``repro.backend`` names, constructs, caches and
+  selects backends; unknown names raise a typed
+  :class:`~repro.errors.ConfigurationError`, missing optional dependencies a
+  :class:`~repro.errors.BackendUnavailableError`, and an unavailable backend
+  makes the dependent tests *skip*, never fail;
+* **kernel equivalence** — every ported kernel (check-node updates, segment
+  min-sum, BatchBCJR / turbo) reproduces the NumPy reference on every
+  available backend: bit-identical where ``ArrayBackend.exact`` is true,
+  within a pinned tolerance otherwise, and bit-identical on integer / cycle
+  state everywhere;
+* **JIT wiring** — the NoC scalar fallbacks routed through
+  :mod:`repro.noc.engine_jit` are cycle- and draw-exact against the scalar
+  engine.  numba itself is optional, so the wiring is exercised with a
+  hand-built ``jit=True`` backend: ``maybe_compile`` falls back to the
+  interpreted kernel, which runs the *same code object* numba would compile
+  — slow, but bit-identical, so the equivalence proof holds on hosts
+  without numba.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.backend as backends
+from repro.backend import ArrayBackend, available, names, resolve, use, xp
+from repro.backend.__main__ import main as backend_cli
+from repro.errors import BackendUnavailableError, ConfigurationError, DecodingError
+from repro.ldpc.checknode import min_sum_check_update
+from repro.noc import (
+    BatchNocSimulator,
+    BatchedNocKernel,
+    CollisionPolicy,
+    NocConfiguration,
+    RoutingAlgorithm,
+    build_routing_tables,
+    build_topology,
+    random_traffic,
+)
+from repro.sim import BatchTurboDecoder
+from repro.sim.kernels import (
+    min_sum_update,
+    min_sum_update_segments,
+    sum_product_update,
+)
+from repro.sim.turbo_batch import BatchBCJR
+from repro.utils.rng import DeflectionStreams
+
+ALL_NAMES = names()
+
+
+def _get_backend(name: str) -> ArrayBackend:
+    """The named backend, or a pytest skip when its dependency is missing."""
+    try:
+        return backends.backend(name)
+    except BackendUnavailableError as exc:
+        pytest.skip(f"backend {name!r} unavailable: {exc}")
+
+
+def _fake_jit_backend() -> ArrayBackend:
+    """A ``jit=True`` backend that works without numba.
+
+    Routes the NoC paths through :mod:`repro.noc.engine_jit` with the
+    kernels running interpreted (``maybe_compile`` falls back when numba is
+    missing) — the same code object, bit-identical results.
+    """
+    return ArrayBackend(
+        name="jit-interp",
+        xp=np,
+        version="0",
+        jit=True,
+        reduceat_min=np.minimum.reduceat,
+        reduceat_add=np.add.reduceat,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry and selection
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(ALL_NAMES) == {"numpy", "numba", "cupy", "torch"}
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available()
+        b = backends.backend("numpy")
+        assert b.xp is np
+        assert b.exact and not b.jit
+        assert b.supports_segments
+
+    def test_unknown_name_raises_typed_error_listing_choices(self):
+        with pytest.raises(ConfigurationError, match="numpy"):
+            backends.backend("jax")
+
+    def test_unavailable_backend_raises_backend_unavailable(self):
+        for name in set(ALL_NAMES) - set(available()):
+            with pytest.raises(BackendUnavailableError, match=name):
+                backends.backend(name)
+
+    def test_backend_unavailable_is_a_configuration_error(self):
+        assert issubclass(BackendUnavailableError, ConfigurationError)
+
+    def test_backends_are_cached_per_name(self):
+        assert backends.backend("numpy") is backends.backend("numpy")
+
+    def test_key_is_name_and_jit(self):
+        assert backends.backend("numpy").key == ("numpy", False)
+        assert _fake_jit_backend().key == ("jit-interp", True)
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backends.active().name == "numpy"
+        assert xp() is np
+
+    def test_env_var_is_honoured(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert backends.active().name == "numpy"
+
+    def test_use_as_context_manager_restores_previous(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with use("numpy") as selected:
+            assert selected.name == "numpy"
+            assert backends._SELECTED == "numpy"
+        assert backends._SELECTED is None
+
+    def test_use_validates_eagerly(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        with pytest.raises(ConfigurationError):
+            use("not-a-backend")
+        assert backends._SELECTED is None
+
+    def test_use_overrides_env(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        monkeypatch.setenv("REPRO_BACKEND", "not-a-backend")
+        with use("numpy"):
+            assert backends.active().name == "numpy"
+
+    def test_resolve_none_is_active(self, monkeypatch):
+        monkeypatch.setattr(backends, "_SELECTED", None)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve(None) is backends.backend("numpy")
+
+    def test_resolve_string_and_instance(self):
+        assert resolve("numpy") is backends.backend("numpy")
+        fake = _fake_jit_backend()
+        assert resolve(fake) is fake
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(ConfigurationError, match="int"):
+            resolve(3)
+
+
+class TestCli:
+    def test_table_lists_every_backend(self, capsys):
+        assert backend_cli([]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_NAMES:
+            assert name in out
+        assert "active: " in out
+
+    def test_probe_numpy_exits_zero(self, capsys):
+        assert backend_cli(["numpy"]) == 0
+        assert "numpy: available" in capsys.readouterr().out
+
+    def test_probe_reports_availability_via_exit_code(self, capsys):
+        for name in set(ALL_NAMES) - {"numpy"}:
+            expected = 0 if name in available() else 1
+            assert backend_cli([name]) == expected
+
+    def test_probe_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="valid choices"):
+            backend_cli(["jax"])
+
+
+# --------------------------------------------------------------------------- #
+# Check-node kernels
+# --------------------------------------------------------------------------- #
+llr_strategy = st.floats(
+    min_value=-40.0, max_value=40.0, allow_nan=False, width=64
+).map(lambda v: -0.0 if v == 0.0 else v)
+
+check_strategy = st.lists(
+    st.one_of(llr_strategy, st.sampled_from([0.0, -0.0, 1e-300, -1e-300])),
+    min_size=2,
+    max_size=9,
+)
+
+
+class TestCheckNodeKernels:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(q=check_strategy, scaling=st.sampled_from([0.75, 1.0]))
+    def test_min_sum_matches_scalar_reference(self, name, q, scaling):
+        b = _get_backend(name)
+        arr = np.asarray(q, dtype=np.float64)
+        reference = min_sum_check_update(arr, scaling=scaling)
+        got = b.to_numpy(min_sum_update(b.asarray(arr), scaling=scaling, backend=b))
+        if b.exact:
+            assert np.array_equal(got, reference), (got, reference)
+        else:
+            np.testing.assert_allclose(got, reference, rtol=1e-6, atol=1e-9)
+
+    def test_min_sum_negative_zero_regression(self):
+        # -0.0 must count as negative (signbit convention): both edges see
+        # the other's sign, so the edge paired with -0.0 flips.
+        q = np.array([-0.0, 3.0, 5.0])
+        reference = min_sum_check_update(q)
+        # Edges 1 and 2 see min magnitude 0.0 with a negative sign product:
+        # the flip survives only in the sign bit (-0.0), which is exactly
+        # what the old ``arr < 0`` formulation lost.
+        assert np.signbit(reference[1]) and np.signbit(reference[2])
+        assert np.array_equal(min_sum_update(q), reference)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(q=check_strategy)
+    def test_sum_product_matches_numpy(self, name, q):
+        b = _get_backend(name)
+        arr = np.asarray(q, dtype=np.float64)
+        reference = sum_product_update(arr, backend="numpy")
+        got = b.to_numpy(sum_product_update(b.asarray(arr), backend=b))
+        if b.exact:
+            assert np.array_equal(got, reference)
+        else:
+            np.testing.assert_allclose(got, reference, rtol=1e-6, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(
+        degrees=st.lists(st.integers(2, 7), min_size=1, max_size=6),
+        batch=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_segment_min_sum_matches_dense(self, name, degrees, batch, seed):
+        b = _get_backend(name)
+        if not b.supports_segments:
+            pytest.skip(f"backend {name!r} has no segment primitives")
+        row_ptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+        rng = np.random.default_rng(seed)
+        v2c = rng.normal(0.0, 4.0, size=(batch, int(row_ptr[-1])))
+        v2c[rng.random(v2c.shape) < 0.1] = -0.0  # exercise the sign convention
+        got = b.to_numpy(
+            min_sum_update_segments(b.asarray(v2c), row_ptr, backend=b)
+        )
+        dense = np.empty_like(v2c)
+        for start, stop in zip(row_ptr[:-1], row_ptr[1:]):
+            dense[:, start:stop] = min_sum_update(v2c[:, start:stop])
+        if b.exact:
+            assert np.array_equal(got, dense)
+        else:
+            np.testing.assert_allclose(got, dense, rtol=1e-6, atol=1e-9)
+
+    def test_segment_kernel_requires_segment_primitives(self):
+        stripped = ArrayBackend(name="bare", xp=np, version="0")
+        with pytest.raises(DecodingError, match="segment"):
+            min_sum_update_segments(
+                np.zeros((1, 4)), np.array([0, 2, 4]), backend=stripped
+            )
+
+    def test_kernels_accept_backend_names(self):
+        q = np.array([[1.0, -2.0, 0.5]])
+        assert np.array_equal(
+            min_sum_update(q, backend="numpy"), min_sum_update(q)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# BatchBCJR / turbo
+# --------------------------------------------------------------------------- #
+class TestTurboKernels:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("algorithm", ["max-log", "log-map"])
+    def test_bcjr_activation_matches_numpy(self, name, algorithm):
+        b = _get_backend(name)
+        rng = np.random.default_rng(7)
+        batch, n = 3, 24
+        sys_llrs = rng.normal(0.0, 2.0, size=(batch, n, 2))
+        par_llrs = rng.normal(0.0, 2.0, size=(batch, n, 2))
+        apriori = rng.normal(0.0, 1.0, size=(batch, n, 4))
+        reference = BatchBCJR(algorithm=algorithm).decode_batch(
+            sys_llrs, par_llrs, apriori
+        )
+        got = BatchBCJR(algorithm=algorithm, backend=b).decode_batch(
+            sys_llrs, par_llrs, apriori
+        )
+        # Hard symbols are integer state: bit-identical on every backend.
+        assert np.array_equal(got.hard_symbols, reference.hard_symbols)
+        pairs = [
+            (got.aposteriori, reference.aposteriori),
+            (got.extrinsic, reference.extrinsic),
+            (got.final_alpha, reference.final_alpha),
+            (got.final_beta, reference.final_beta),
+        ]
+        for got_arr, ref_arr in pairs:
+            if b.exact:
+                assert np.array_equal(got_arr, ref_arr)
+            else:
+                np.testing.assert_allclose(got_arr, ref_arr, rtol=1e-6, atol=1e-8)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_turbo_decoder_matches_numpy(self, name, small_turbo_encoder):
+        b = _get_backend(name)
+        encoder = small_turbo_encoder
+        rng = np.random.default_rng(21)
+        info = rng.integers(0, 2, (4, 2 * encoder.n_couples))
+        bits = np.stack(
+            [encoder.encode(frame).to_bit_array() for frame in info]
+        ).astype(np.float64)
+        llrs = (1 - 2 * bits) * 3.0 + rng.normal(0.0, 1.5, size=bits.shape)
+        reference = BatchTurboDecoder(encoder, max_iterations=4).decode_batch(llrs)
+        got = BatchTurboDecoder(encoder, max_iterations=4, backend=b).decode_batch(
+            llrs
+        )
+        # Decisions, iteration counts and convergence are integer state.
+        assert np.array_equal(got.hard_bits, reference.hard_bits)
+        assert np.array_equal(got.hard_symbols, reference.hard_symbols)
+        assert np.array_equal(got.iterations, reference.iterations)
+        assert np.array_equal(got.converged, reference.converged)
+        assert got.decision_changes == reference.decision_changes
+        if b.exact:
+            assert np.array_equal(got.aposteriori, reference.aposteriori)
+
+
+# --------------------------------------------------------------------------- #
+# NoC scalar fallbacks through the JIT wiring
+# --------------------------------------------------------------------------- #
+def _result_signature(result):
+    """Every observable a backend switch must leave untouched."""
+    return {
+        "ncycles": result.ncycles,
+        "total": result.total_messages,
+        "delivered": result.delivered_messages,
+        "bypassed": result.local_bypassed,
+        "max_fifo": result.max_fifo_occupancy,
+        "max_injection": result.max_injection_occupancy,
+        "per_node_max_fifo": list(result.per_node_max_fifo),
+        "count": result.statistics.count,
+        "total_latency": result.statistics.total_latency,
+        "max_latency": result.statistics.max_latency,
+        "total_hops": result.statistics.total_hops,
+        "misrouted": result.statistics.misrouted,
+        "latencies": list(result.statistics._latencies),
+    }
+
+
+_NOC_SPECS = [
+    ("generalized-kautz", 8, 3),
+    ("ring", 6, None),
+    ("spidergon", 8, None),
+    ("mesh", 9, None),
+]
+
+_NOC_CONFIGS = [
+    NocConfiguration(),
+    NocConfiguration(
+        routing_algorithm=RoutingAlgorithm.SSP_RR,
+        collision_policy=CollisionPolicy.DCM,
+    ),
+    NocConfiguration(
+        routing_algorithm=RoutingAlgorithm.ASP_FT,
+        fifo_capacity=3,
+        injection_rate=0.5,
+    ),
+    NocConfiguration(fifo_capacity=2, route_local=True),
+]
+
+
+class TestNocJitWiring:
+    @pytest.mark.parametrize("spec", _NOC_SPECS, ids=lambda s: s[0])
+    @pytest.mark.parametrize("cfg", range(len(_NOC_CONFIGS)))
+    def test_engine_cycle_exact_through_jit_path(self, spec, cfg):
+        topology = build_topology(*spec)
+        tables = build_routing_tables(topology)
+        config = _NOC_CONFIGS[cfg]
+        traffic = random_traffic(topology.n_nodes, 14, seed=31 + cfg)
+        scalar = BatchNocSimulator(topology, config, routing_tables=tables, seed=5)
+        jit = BatchNocSimulator(
+            topology, config, routing_tables=tables, seed=5,
+            backend=_fake_jit_backend(),
+        )
+        assert _result_signature(jit.run(traffic)) == _result_signature(
+            scalar.run(traffic)
+        )
+
+    def test_engine_jit_word_block_reentry(self, monkeypatch):
+        # A tiny word block forces mid-draw suspension and re-entry; the
+        # resumed kernel must consume the identical RNG word stream.
+        import repro.noc.engine_jit as engine_jit
+
+        monkeypatch.setattr(engine_jit, "_WORD_BLOCK", 3)
+        topology = build_topology("generalized-kautz", 8, 3)
+        tables = build_routing_tables(topology)
+        config = NocConfiguration(collision_policy=CollisionPolicy.SCM)
+        traffic = random_traffic(8, 20, seed=9)
+        scalar = BatchNocSimulator(topology, config, routing_tables=tables, seed=2)
+        jit = BatchNocSimulator(
+            topology, config, routing_tables=tables, seed=2,
+            backend=_fake_jit_backend(),
+        )
+        assert _result_signature(jit.run(traffic)) == _result_signature(
+            scalar.run(traffic)
+        )
+
+    def test_engine_jit_max_cycles_message_matches_scalar(self):
+        from repro.errors import SimulationError
+
+        topology = build_topology("ring", 6)
+        tables = build_routing_tables(topology)
+        config = NocConfiguration()
+        traffic = random_traffic(6, 30, seed=2)
+        messages = {}
+        for key, backend in (("scalar", None), ("jit", _fake_jit_backend())):
+            engine = BatchNocSimulator(
+                topology, config, routing_tables=tables, seed=0,
+                max_cycles=3, backend=backend,
+            )
+            with pytest.raises(SimulationError) as excinfo:
+                engine.run(traffic)
+            messages[key] = str(excinfo.value)
+        assert messages["jit"] == messages["scalar"]
+
+    @pytest.mark.parametrize(
+        "policy", [CollisionPolicy.SCM, CollisionPolicy.DCM], ids=lambda p: p.name
+    )
+    def test_batched_kernel_scalar_fallback_through_jit_path(self, policy):
+        # fifo_capacity=3 forces the batched kernel onto its scalar
+        # fallback, which is where the JIT serve loop takes over.
+        topology = build_topology("generalized-kautz", 8, 3)
+        tables = build_routing_tables(topology)
+        config = NocConfiguration(collision_policy=policy, fifo_capacity=3)
+        traffics = [random_traffic(8, 10, seed=70 + i) for i in range(3)]
+        seeds = [0, 4, 9]
+        scalar = BatchedNocKernel(topology, config, routing_tables=tables)
+        jit = BatchedNocKernel(
+            topology, config, routing_tables=tables, backend=_fake_jit_backend()
+        )
+        for got, ref in zip(jit.run(traffics, seeds), scalar.run(traffics, seeds)):
+            assert _result_signature(got) == _result_signature(ref)
+
+    def test_resume_replay_matches_python_replay(self, monkeypatch):
+        # Small rounds go through the scalar replay; force every round
+        # scalar on both kernels so the JIT replay is compared directly,
+        # and shrink the stream chunk so replay refills re-enter mid-draw.
+        import repro.noc.engine_batch as engine_batch
+
+        monkeypatch.setattr(engine_batch, "_VEC_MIN_ROUND", 1 << 30)
+        monkeypatch.setattr(engine_batch, "_VEC_MIN_ROUND_JIT", 1 << 30)
+        monkeypatch.setattr(DeflectionStreams, "CHUNK", 2)
+        topology = build_topology("generalized-kautz", 8, 3)
+        tables = build_routing_tables(topology)
+        config = NocConfiguration(collision_policy=CollisionPolicy.SCM)
+        traffics = [random_traffic(8, 12, seed=110 + i) for i in range(4)]
+        seeds = [3, 1, 8, 0]
+        scalar = BatchedNocKernel(topology, config, routing_tables=tables)
+        jit = BatchedNocKernel(
+            topology, config, routing_tables=tables, backend=_fake_jit_backend()
+        )
+        for got, ref in zip(jit.run(traffics, seeds), scalar.run(traffics, seeds)):
+            assert _result_signature(got) == _result_signature(ref)
+
+    def test_per_call_override_beats_active_selection(self):
+        # backend= on the engine wins over the process-wide selection.
+        topology = build_topology("ring", 6)
+        tables = build_routing_tables(topology)
+        traffic = random_traffic(6, 8, seed=1)
+        engine = BatchNocSimulator(
+            topology, NocConfiguration(), routing_tables=tables, seed=0,
+            backend="numpy",
+        )
+        reference = _result_signature(engine.run(traffic))
+        with use("numpy"):
+            assert _result_signature(engine.run(traffic)) == reference
+
+
+# --------------------------------------------------------------------------- #
+# Backend-aware calibration caches
+# --------------------------------------------------------------------------- #
+class TestCalibrationKeying:
+    def test_sweep_cost_model_is_cached_per_backend_key(self, monkeypatch):
+        import repro.noc.sweep as sweep_mod
+
+        calls = []
+        fake_model = object()
+
+        monkeypatch.setattr(sweep_mod, "_COST_MODELS", {})
+        monkeypatch.setattr(
+            sweep_mod, "_calibrate", lambda: calls.append(1) or fake_model
+        )
+        first = sweep_mod.scheduler_cost_model()
+        second = sweep_mod.scheduler_cost_model()
+        assert first is second is fake_model
+        assert len(calls) == 1
+        # A different active backend key triggers a fresh calibration.
+        monkeypatch.setattr(sweep_mod, "resolve", lambda _=None: _fake_jit_backend())
+        sweep_mod.scheduler_cost_model()
+        assert len(calls) == 2
+
+    def test_decode_cost_model_records_backend_key(self):
+        from repro.service.registry import default_registry
+        from repro.service.sharding import DecodeCostModel
+
+        entry = default_registry().resolve("ldpc", 576, "1/2")
+        model = DecodeCostModel.calibrate(entry, sizes=(1, 2))
+        assert model.backend_key == resolve(None).key
+        assert model.is_current()
+
+    def test_decode_cost_model_staleness_detection(self, monkeypatch):
+        import repro.service.sharding as sharding_mod
+        from repro.service.registry import default_registry
+
+        entry = default_registry().resolve("ldpc", 576, "1/2")
+        model = sharding_mod.DecodeCostModel.calibrate(entry, sizes=(1, 2))
+        monkeypatch.setattr(
+            sharding_mod, "resolve", lambda _=None: _fake_jit_backend()
+        )
+        assert not model.is_current()
